@@ -1,0 +1,17 @@
+"""Shared benchmark settings: small-but-representative workloads."""
+
+from __future__ import annotations
+
+#: Single trace per model keeps each benchmark round in seconds while the
+#: statistics remain representative (per-window quantities are stable).
+TRACE_COUNT = 1
+
+#: Subset of CI models covering the behavioural extremes: the deepest
+#: model (DnCNN), the dilated one (IRCNN), and the sparsity outlier (VDSR).
+FAST_CI_MODELS = ("DnCNN", "IRCNN", "VDSR")
+
+#: All five for benchmarks whose shape depends on the full set.
+ALL_CI_MODELS = ("DnCNN", "FFDNet", "IRCNN", "JointNet", "VDSR")
+
+#: Small classification subset for the Fig 19 benchmark.
+FAST_CLS_MODELS = ("AlexNet", "NiN")

@@ -1,0 +1,14 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper table or figure (see DESIGN.md §4).
+Benchmarks run the experiment's ``run()`` with reduced trace counts; the
+first invocation warms the shared trace caches, so pytest-benchmark's
+steady-state measurements reflect the analysis cost rather than model
+calibration.
+"""
+
+from __future__ import annotations
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):  # pragma: no cover
+    machine_info["workload"] = "Diffy reproduction paper-experiment benchmarks"

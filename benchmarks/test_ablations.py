@@ -1,0 +1,54 @@
+"""Benchmarks: the DESIGN.md ablation studies."""
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import ablations
+
+
+def test_ablation_sync(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_sync(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    # Coarser synchronization always costs performance.
+    assert result.diffy["row"] >= result.diffy["lane"] >= result.diffy["pallet"]
+    assert result.pra["row"] >= result.pra["lane"] >= result.pra["pallet"]
+    # Diffy keeps its edge over PRA at every granularity.
+    for sync in ("row", "lane", "column", "pallet"):
+        assert result.diffy[sync] > result.pra[sync]
+
+
+def test_ablation_axis(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_axis(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    # Section III-C: either dimension works; cycles within ~25%.
+    for model in result.cycles:
+        assert 0.75 < result.ratio(model) < 1.35
+
+
+def test_ablation_group_size(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_group_size(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    for ratios in result.ratios.values():
+        # Finer delta groups fit better despite extra headers (paper:
+        # DeltaD16 beats DeltaD256).
+        assert ratios["DeltaD16"] < ratios["DeltaD256"]
+
+
+def test_ablation_selective(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablations.run_selective(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    for r in results:
+        # Paper: reverting per layer never hurts and helps below ~1%.
+        assert 0.0 <= r.improvement_over_diffy < 0.05
+        assert r.selective_cycles <= r.diffy_cycles
+        assert r.selective_cycles <= r.pra_cycles

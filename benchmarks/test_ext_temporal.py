@@ -1,0 +1,20 @@
+"""Benchmark: the spatio-temporal extension experiment."""
+
+from repro.experiments import ext_temporal
+
+
+def test_ext_temporal(benchmark):
+    results = benchmark.pedantic(
+        lambda: ext_temporal.run(model="IRCNN", pans=(0, 2, 6), crop=48),
+        rounds=1,
+        iterations=1,
+    )
+    static, slow, fast = results
+    # Static scenes: temporal deltas dominate; combined picks them up.
+    assert static.temporal_speedup > static.spatial_speedup
+    assert static.combined_speedup >= static.temporal_speedup - 1e-9
+    # Fast panning: spatial processing is the robust choice.
+    assert fast.spatial_speedup > fast.temporal_speedup
+    # The combined mode never loses to either pure mode.
+    for r in results:
+        assert r.combined_speedup >= max(r.spatial_speedup, r.temporal_speedup) - 1e-9

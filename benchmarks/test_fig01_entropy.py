@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig 1 (activation-stream entropies)."""
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import fig01_entropy
+
+
+def test_fig01_entropy(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig01_entropy.run(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    # Fig 1's claim: both conditional and delta entropies compress H(A).
+    assert result.mean_compression_conditional > 1.0
+    assert result.mean_compression_delta > 1.0
+    for stats in result.stats:
+        assert stats.h_conditional <= stats.h_raw + 1e-9
+        assert stats.h_delta < stats.h_raw

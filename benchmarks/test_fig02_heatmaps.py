@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig 2 (spatial-correlation heatmaps)."""
+
+from repro.experiments import fig02_heatmaps
+
+
+def test_fig02_heatmaps(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig02_heatmaps.run(crop=96), rounds=1, iterations=1
+    )
+    hm = result.heatmaps
+    # Paper: deltas are much smaller than raw values; processing them
+    # reduces work; edges (negative reduction) are a minority of pixels.
+    assert hm.delta.mean() < hm.raw.mean()
+    assert hm.mean_terms_delta < hm.mean_terms_raw
+    assert hm.potential_work_reduction > 1.0
+    assert result.edge_fraction_negative < 0.5

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig 3 (effectual-term CDFs + sparsity)."""
+
+import numpy as np
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import fig03_term_cdf
+
+
+def test_fig03_term_cdf(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig03_term_cdf.run(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    stats = result.stats
+    # Paper: ~43% raw sparsity; delta CDF dominates beyond the small bins;
+    # deltas carry fewer mean terms.
+    assert 0.3 < stats.sparsity_raw < 0.7
+    assert stats.mean_terms_delta < stats.mean_terms_raw
+    assert np.all(stats.cdf_delta[2:] >= stats.cdf_raw[2:] - 1e-12)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig 4 (potential work-reduction speedups)."""
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import fig04_potential
+
+
+def test_fig04_potential(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig04_potential.run(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    # DeltaE beats RawE for every network; both beat ALL handily.
+    for pot in result.potentials:
+        assert pot.delta_effectual > pot.raw_effectual > 2.0
+    # VDSR is the sparsity outlier with the highest potential.
+    by_net = {p.network: p for p in result.potentials}
+    assert by_net["VDSR"].raw_effectual == max(
+        p.raw_effectual for p in result.potentials
+    )

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig 5 (off-chip imap footprint per scheme)."""
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import fig05_footprint
+
+
+def test_fig05_footprint(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig05_footprint.run(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper's ordering on average: DeltaD16 < RawD16 < Profiled < 16b.
+    assert (
+        result.scheme_mean("DeltaD16")
+        < result.scheme_mean("RawD16")
+        < result.scheme_mean("Profiled")
+        < 1.0
+    )
+    # RLE variants are far less effective than the dynamic schemes.
+    assert result.scheme_mean("RLEz") > result.scheme_mean("RawD16")

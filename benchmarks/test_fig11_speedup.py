@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig 11 (speedups over VAA per compression)."""
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import fig11_speedup
+
+
+def test_fig11_speedup(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11_speedup.run(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    diffy = result.mean_speedup("Diffy", "DeltaD16")
+    pra = result.mean_speedup("PRA", "DeltaD16")
+    # The paper's headline shape: Diffy > PRA > 1, a >1.2x gap between
+    # them, and DeltaD16 recovering nearly all of the Ideal performance.
+    assert diffy > pra > 2.0
+    assert 1.15 < diffy / pra < 1.8
+    assert diffy >= 0.9 * result.mean_speedup("Diffy", "Ideal")
+    # Compression matters: NoCompression leaves performance on the table.
+    assert result.mean_speedup("Diffy", "NoCompression") < diffy
+    # VDSR is the top speedup (high activation sparsity).
+    by_net = {r.network: r for r in result.rows}
+    assert by_net["VDSR"].diffy["DeltaD16"] == max(
+        r.diffy["DeltaD16"] for r in result.rows
+    )

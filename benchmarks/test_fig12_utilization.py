@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig 12 (per-layer lane-utilization breakdown)."""
+
+from benchmarks.common import TRACE_COUNT
+from repro.experiments import fig12_utilization
+
+
+def test_fig12_utilization(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12_utilization.run(models=("DnCNN", "VDSR"), trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    dncnn = result.networks["DnCNN"]
+    vdsr = result.networks["VDSR"]
+    # Fractions partition per layer.
+    for layers in result.networks.values():
+        for layer in layers:
+            assert abs(layer.useful + layer.idle + layer.stall - 1.0) < 1e-9
+    # Paper: first layer mostly idle (3-of-16 activation lanes), last layer
+    # mostly idle (3-of-64 filter lanes), and VDSR idle-dominated overall.
+    assert dncnn[0].idle > 0.5
+    assert dncnn[-1].idle > 0.8
+    assert result.network_useful_mean("VDSR") < result.network_useful_mean("DnCNN")

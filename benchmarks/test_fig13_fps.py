@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig 13 (absolute HD frame rates)."""
+
+from benchmarks.common import FAST_CI_MODELS
+from repro.experiments import fig13_fps_hd
+
+
+def test_fig13_fps_hd(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig13_fps_hd.run(models=FAST_CI_MODELS, trace_count=1),
+        rounds=1,
+        iterations=1,
+    )
+    by_net = {r.network: r for r in rows}
+    # Paper band: VAA 0.7-3.9 FPS at HD; ordering VAA < PRA < Diffy.
+    for row in rows:
+        assert 0.3 < row.vaa_fps < 6.0
+        assert row.vaa_fps < row.pra_fps < row.diffy_fps
+    # DnCNN is the heaviest model (paper: it needs the biggest scale-up).
+    assert by_net["DnCNN"].diffy_fps == min(r.diffy_fps for r in rows)

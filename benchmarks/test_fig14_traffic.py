@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig 14 (off-chip traffic per scheme)."""
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import fig14_traffic
+
+
+def test_fig14_traffic(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig14_traffic.run(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    mean = result.scheme_mean
+    # Paper's qualitative ordering: dynamic schemes beat Profiled beat RLE;
+    # finer raw groups help; DeltaD16 at least matches RawD16.
+    assert mean("DeltaD16") <= mean("RawD16") + 1e-9
+    assert mean("RawD8") < mean("RawD256")
+    assert mean("RawD16") < mean("Profiled") < 1.0
+    assert mean("RLEz") > mean("RawD16")
+    # VDSR compresses best (highest sparsity), as in the paper.
+    assert result.ratios["VDSR"]["RawD16"] == min(
+        r["RawD16"] for r in result.ratios.values()
+    )

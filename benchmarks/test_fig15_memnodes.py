@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig 15 (memory-technology sensitivity)."""
+
+from benchmarks.common import TRACE_COUNT
+from repro.experiments import fig15_memnodes
+
+
+def test_fig15_memnodes(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig15_memnodes.run(
+            models=("DnCNN", "JointNet"),
+            nodes=("LPDDR3-1600", "LPDDR4-3200", "HBM2"),
+            trace_count=TRACE_COUNT,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for model, per_node in result.grid.items():
+        # Faster memory never hurts; DeltaD16 never loses to NoCompression.
+        for scheme in result.schemes:
+            speeds = [per_node[n][scheme].speedup_over_vaa for n in result.nodes]
+            assert speeds == sorted(speeds), (model, scheme)
+        for node in result.nodes:
+            assert (
+                per_node[node]["DeltaD16"].speedup_over_vaa
+                >= per_node[node]["NoCompression"].speedup_over_vaa - 1e-9
+            )
+        # Paper: with DeltaD16 and LPDDR4-3200+, performance is near max.
+        assert per_node["LPDDR4-3200"]["DeltaD16"].fraction_of_max > 0.85
+        assert per_node["HBM2"]["DeltaD16"].fraction_of_max > 0.97

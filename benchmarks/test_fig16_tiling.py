@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig 16 (T_x tiling sensitivity)."""
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import fig16_tiling
+
+
+def test_fig16_tiling(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig16_tiling.run(
+            models=FAST_CI_MODELS, terms=(1, 4, 16), trace_count=TRACE_COUNT
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: T_1 removes cross-lane sync, lifting the mean speedup
+    # (7.1x -> 11.9x, a ~1.7x uplift); monotone in between.
+    t1, t4, t16 = (result.mean_speedup(t) for t in (1, 4, 16))
+    assert t1 > t4 > t16
+    assert 1.3 < t1 / t16 < 2.3

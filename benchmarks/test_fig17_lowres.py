@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig 17 (low-resolution frame rates)."""
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import fig17_lowres
+
+
+def test_fig17_lowres(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig17_lowres.run(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    for model, per_res in result.fps.items():
+        fps = [per_res[r] for r in result.resolutions]
+        # FPS decreases with resolution.
+        assert all(a >= b for a, b in zip(fps, fps[1:])), model
+    # Paper: real-time is reachable at low resolutions for every model;
+    # DnCNN is the most constrained.
+    assert result.real_time_limit_mp("IRCNN") > 0.0
+    assert result.real_time_limit_mp("DnCNN") <= result.real_time_limit_mp("IRCNN")

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig 18 (scaling for real-time HD)."""
+
+from benchmarks.common import TRACE_COUNT
+from repro.experiments import fig18_scaling
+
+
+def test_fig18_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig18_scaling.run(
+            models=("DnCNN", "IRCNN"),
+            schemes=("NoCompression", "DeltaD16"),
+            trace_count=TRACE_COUNT,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    dncnn = result.grid["DnCNN"]
+    ircnn = result.grid["IRCNN"]
+    # 30 FPS HD is reachable for both under DeltaD16.
+    assert dncnn["DeltaD16"] is not None
+    assert ircnn["DeltaD16"] is not None
+    assert dncnn["DeltaD16"].fps >= 30.0
+    # Paper: DnCNN is the most demanding model (32 tiles vs IRCNN's 12).
+    assert dncnn["DeltaD16"].tiles >= ircnn["DeltaD16"].tiles
+    # Compression never increases the required tile count.
+    if dncnn["NoCompression"] is not None:
+        assert dncnn["DeltaD16"].tiles <= dncnn["NoCompression"].tiles

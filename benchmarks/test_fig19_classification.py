@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig 19 (classification models)."""
+
+from benchmarks.common import FAST_CLS_MODELS, TRACE_COUNT
+from repro.experiments import fig19_classification
+
+
+def test_fig19_classification(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig19_classification.run(
+            models=FAST_CLS_MODELS, trace_count=TRACE_COUNT
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: differential convolution does not degrade classification
+    # models — Diffy still beats VAA by a lot, and at least matches PRA
+    # overall, with the early layers clearly ahead (> 2.1x in the paper).
+    assert result.mean_over_vaa > 2.0
+    assert result.mean_over_pra > 0.95
+    assert result.mean_first_layer_over_pra > 1.2

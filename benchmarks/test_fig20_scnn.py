@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig 20 (Diffy vs SCNN at weight sparsities)."""
+
+from benchmarks.common import FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import fig20_scnn
+
+
+def test_fig20_scnn(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig20_scnn.run(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    means = [result.mean_speedup(s) for s in result.sparsities]
+    # Paper: Diffy wins at every sparsity level (5.4x .. 1.04x), with the
+    # advantage shrinking monotonically as SCNN's models get sparser.
+    assert all(m >= 0.9 for m in means)
+    assert means[0] > means[-1]
+    assert means == sorted(means, reverse=True)
+    assert means[0] > 2.5

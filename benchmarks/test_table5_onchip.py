@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table V (on-chip storage requirements)."""
+
+from benchmarks.common import ALL_CI_MODELS, TRACE_COUNT
+from repro.experiments import table5_onchip
+
+
+def test_table5_onchip(benchmark):
+    result = benchmark.pedantic(
+        lambda: table5_onchip.run(models=ALL_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    am = result.am_bytes
+    # Paper ordering and rough magnitudes (964/782/514/348 KB).
+    assert am["DeltaD16"] < am["RawD16"] < am["Profiled"] < am["NoCompression"]
+    assert 800 * 1024 < am["NoCompression"] < 1200 * 1024
+    # WM is exactly the paper's 324KB (double-buffered FFDNet layer).
+    assert result.wm_bytes == 324 * 1024

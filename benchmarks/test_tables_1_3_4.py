@@ -1,0 +1,39 @@
+"""Benchmarks: regenerate Tables I, III and IV."""
+
+from benchmarks.common import ALL_CI_MODELS, FAST_CI_MODELS, TRACE_COUNT
+from repro.experiments import table1_models, table3_precisions, table4_configs
+
+
+def test_table1_models(benchmark):
+    rows = benchmark(lambda: table1_models.run(models=ALL_CI_MODELS))
+    by_net = {r.network: r for r in rows}
+    # Table I layer counts.
+    assert by_net["DnCNN"].conv_layers == 20
+    assert by_net["FFDNet"].conv_layers == 10
+    assert by_net["IRCNN"].conv_layers == 7
+    assert by_net["JointNet"].conv_layers == 19
+    assert by_net["VDSR"].conv_layers == 20
+    # Max per-layer filter storage: FFDNet 162KB, JointNet 144KB.
+    assert round(by_net["FFDNet"].max_layer_filter_kb) == 162
+    assert round(by_net["JointNet"].max_layer_filter_kb) == 144
+
+
+def test_table3_precisions(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table3_precisions.run(models=FAST_CI_MODELS, trace_count=TRACE_COUNT),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        # The paper's band: every layer profiles well inside the 16b word.
+        assert 4 <= min(row.precisions)
+        assert max(row.precisions) <= 14
+        assert len(row.precisions) == {"DnCNN": 20, "IRCNN": 7, "VDSR": 20}[row.network]
+
+
+def test_table4_configs(benchmark):
+    configs = benchmark(table4_configs.run)
+    assert set(configs) == {"VAA", "PRA", "Diffy"}
+    for cfg in configs.values():
+        assert cfg.peak_macs_per_cycle == 1024
+        assert cfg.frequency_ghz == 1.0

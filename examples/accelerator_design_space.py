@@ -1,0 +1,72 @@
+"""Scenario: an architect explores the Diffy design space.
+
+Uses the library the way Section IV does — not to run one configuration,
+but to answer design questions:
+
+1. how much of Diffy's edge survives cheaper synchronization hardware
+   (the row/lane/column/pallet sweep),
+2. whether the differential chains should run along X or Y,
+3. what the cheapest memory system is for each compression scheme at a
+   target frame rate,
+4. what T_x tiling buys (Fig 16) and what it costs in utilization.
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+import dataclasses
+
+from repro.arch.config import DIFFY_CONFIG, VAA_CONFIG
+from repro.arch.diffy import DiffyModel
+from repro.arch.memory import FIG15_NODES
+from repro.arch.sim import collect_traces, simulate_network
+
+MODEL = "IRCNN"  # the dilated 7-layer prior network
+
+
+def main() -> None:
+    vaa = simulate_network(MODEL, "VAA", scheme="NoCompression", memory="Ideal")
+
+    # 1. Synchronization-granularity sweep.
+    print(f"=== {MODEL}: sync granularity vs speedup over VAA ===")
+    for sync in ("row", "lane", "column", "pallet"):
+        cfg = dataclasses.replace(DIFFY_CONFIG, sync=sync)
+        res = simulate_network(MODEL, "Diffy", config=cfg, memory="Ideal")
+        print(f"  sync={sync:7s}: {res.speedup_over(vaa):5.2f}x")
+
+    # 2. Differential chain axis.
+    print("\n=== chain axis (per-layer cycles, lower is better) ===")
+    traces = collect_traces(MODEL)
+    for axis in ("x", "y"):
+        model = DiffyModel(axis=axis)
+        cycles = sum(
+            model.layer_cycles(layer).cycles for t in traces for layer in t
+        )
+        print(f"  axis={axis}: {cycles / 1e6:.1f}M cycles per trace set")
+
+    # 3. Cheapest memory for >= 10 FPS HD under each scheme.
+    print("\n=== cheapest memory node for >= 10 FPS HD ===")
+    for scheme in ("NoCompression", "Profiled", "DeltaD16"):
+        chosen = None
+        for node in FIG15_NODES:
+            res = simulate_network(MODEL, "Diffy", scheme=scheme, memory=node)
+            if res.fps >= 10.0:
+                chosen = (node, res.fps)
+                break
+        label = f"{chosen[0]} ({chosen[1]:.1f} FPS)" if chosen else "none of the swept nodes"
+        print(f"  {scheme:13s}: {label}")
+
+    # 4. The T_x knob.
+    print("\n=== tiling T_x: Diffy over equally-scaled VAA ===")
+    for t in (16, 8, 4, 1):
+        v = simulate_network(
+            MODEL, "VAA", scheme="NoCompression", memory="Ideal",
+            config=VAA_CONFIG.with_terms(t),
+        )
+        d = simulate_network(
+            MODEL, "Diffy", memory="Ideal", config=DIFFY_CONFIG.with_terms(t),
+        )
+        print(f"  T_{t:<2d}: {d.speedup_over(v):5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Scenario: an HD camera pipeline with on-device denoising.
+
+The paper's motivating use case — per-pixel computational imaging on a
+power-constrained device.  This example sizes a Diffy deployment for a
+camera that runs DnCNN (denoise) or FFDNet (fast denoise) on every
+captured HD frame:
+
+- frame rates on the three accelerators,
+- the off-chip traffic bill per frame and how DeltaD16 shrinks it,
+- on-chip energy per frame (Tables VI-style accounting),
+- whether user-interactive (>= 5 FPS) and real-time (30 FPS) targets hold.
+
+Run:  python examples/hd_denoising_camera.py
+"""
+
+from repro.arch.energy import EnergyModel
+from repro.arch.sim import simulate_network
+from repro.compression.traffic import network_traffic
+from repro.arch.sim import collect_traces
+from repro.models.registry import prepare_model
+
+MODELS = ("DnCNN", "FFDNet")
+MEMORY = "LPDDR4-3200"  # a phone-class memory system
+
+
+def main() -> None:
+    energy = EnergyModel()
+    for model in MODELS:
+        print(f"\n=== {model} on an HD camera ({MEMORY}) ===")
+        vaa = simulate_network(model, "VAA", scheme="NoCompression", memory=MEMORY)
+        results = {"VAA": vaa}
+        for accel in ("PRA", "Diffy"):
+            results[accel] = simulate_network(
+                model, accel, scheme="DeltaD16", memory=MEMORY
+            )
+        for accel, res in results.items():
+            joules = energy.onchip_energy_j(accel, res.total_time_s)
+            print(
+                f"  {accel:5s}: {res.fps:6.2f} FPS | "
+                f"on-chip {joules * 1e3:6.1f} mJ/frame | "
+                f"off-chip {res.traffic_bytes / 1e6:6.1f} MB/frame | "
+                f"stalls {res.stall_fraction * 100:4.1f}%"
+            )
+        diffy = results["Diffy"]
+        print(
+            f"  -> Diffy: {diffy.speedup_over(vaa):.2f}x faster and "
+            f"{energy.onchip_energy_j('VAA', vaa.total_time_s) / energy.onchip_energy_j('Diffy', diffy.total_time_s):.2f}x "
+            f"more energy efficient than VAA"
+        )
+        interactive = "yes" if diffy.fps >= 5 else "no"
+        realtime = "yes" if diffy.fps >= 30 else "no (see fig18 scaling)"
+        print(f"  -> user-interactive (>=5 FPS): {interactive}; real-time (30 FPS): {realtime}")
+
+        # The traffic bill per frame, uncompressed vs the paper's scheme.
+        net = prepare_model(model)
+        traces = collect_traces(model)
+        for scheme in ("NoCompression", "DeltaD16"):
+            layers = network_traffic(net, list(traces), scheme, 1080, 1920)
+            total = sum(l.total_bytes for l in layers) / 1e6
+            print(f"  traffic[{scheme}]: {total:.1f} MB/frame")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Scenario: real-time super-resolution for a TV/monitor pipeline.
+
+VDSR upscales a lower-resolution stream to the panel's resolution.  VDSR
+is the paper's sparsity outlier — its intermediate layers are mostly
+zeros, which Diffy converts into its largest speedups (Fig 11) and its
+cheapest memory configuration (Fig 18).  This example:
+
+- shows VDSR's per-layer sparsity profile,
+- sweeps input resolutions to find the real-time envelope (Fig 17 style),
+- sizes the minimum tile count for 30 FPS HD output.
+
+Run:  python examples/super_resolution_tv.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.arch.config import DIFFY_CONFIG
+from repro.arch.sim import collect_traces, simulate_network
+
+RESOLUTIONS = ((360, 640), (540, 960), (720, 1280), (1080, 1920))
+
+
+def main() -> None:
+    # Per-layer sparsity: the signature VDSR behaviour.
+    traces = collect_traces("VDSR")
+    print("VDSR per-layer imap sparsity (zeros fraction):")
+    for layer in traces[0]:
+        bar = "#" * int(40 * float((layer.imap == 0).mean()))
+        print(f"  {layer.name:8s} |{bar}")
+
+    mean_sp = np.mean(
+        [(layer.imap == 0).mean() for t in traces for layer in t]
+    )
+    print(f"mean sparsity: {mean_sp * 100:.0f}% — the paper's outlier model\n")
+
+    # Real-time envelope across input resolutions.
+    print("Diffy FPS by output resolution (DDR4-3200, DeltaD16):")
+    for h, w in RESOLUTIONS:
+        res = simulate_network("VDSR", "Diffy", resolution=(h, w), trace_count=1)
+        marker = "real-time" if res.fps >= 30 else ""
+        print(f"  {w:4d}x{h:<4d} ({h * w / 1e6:4.2f}MP): {res.fps:6.1f} FPS  {marker}")
+
+    # Scale up for 30 FPS at full HD (hybrid tile partitioning, Fig 18).
+    print("\nscaling for 30 FPS HD:")
+    for tiles in (4, 8, 16, 24, 32):
+        config = dataclasses.replace(DIFFY_CONFIG.with_tiles(tiles), partition="hybrid")
+        res = simulate_network(
+            "VDSR", "Diffy", config=config, memory="HBM2", trace_count=1
+        )
+        status = "<- meets 30 FPS" if res.fps >= 30 else ""
+        print(f"  {tiles:2d} tiles: {res.fps:6.1f} FPS {status}")
+        if res.fps >= 30:
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim.
+
+The offline environment lacks the `wheel` package that PEP-517 editable
+installs require, so `python setup.py develop` is the supported editable
+install path; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

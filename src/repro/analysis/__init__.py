@@ -1,0 +1,37 @@
+"""Value-stream analyses behind the paper's motivation section.
+
+- :mod:`repro.analysis.entropy`   — H(A), H(A|A'), H(Delta)      (Fig 1)
+- :mod:`repro.analysis.spatial`   — value/delta/term heatmaps    (Fig 2)
+- :mod:`repro.analysis.terms`     — effectual-term CDFs          (Fig 3)
+- :mod:`repro.analysis.potential` — ALL vs RawE vs DeltaE work   (Fig 4)
+"""
+
+from repro.analysis.entropy import (
+    entropy,
+    conditional_entropy_adjacent,
+    delta_entropy,
+    trace_entropy_stats,
+)
+from repro.analysis.spatial import heatmap_data, HeatmapData
+from repro.analysis.terms import (
+    term_histogram,
+    term_cdf,
+    trace_term_stats,
+    TermStats,
+)
+from repro.analysis.potential import potential_speedups, PotentialSpeedups
+
+__all__ = [
+    "entropy",
+    "conditional_entropy_adjacent",
+    "delta_entropy",
+    "trace_entropy_stats",
+    "heatmap_data",
+    "HeatmapData",
+    "term_histogram",
+    "term_cdf",
+    "trace_term_stats",
+    "TermStats",
+    "potential_speedups",
+    "PotentialSpeedups",
+]

@@ -1,0 +1,76 @@
+"""Diffy: the differential-convolution accelerator (Section III-E).
+
+Diffy is PRA with three additions:
+
+1. the imap arrives (and is stored) as X-axis *deltas*, so the serial
+   inner-product units stream the — much smaller — delta term counts;
+2. a Differential Reconstruction (DR) engine per SIP cascades the direct
+   components across columns to rebuild exact outputs.  Reconstruction
+   overlaps the (hundreds of cycles long) processing of the next window
+   set, so it adds no cycles — only the energy/area accounted in
+   :mod:`repro.arch.energy`;
+3. a Delta_out engine per tile re-encodes each output brick as deltas at
+   the next layer's stride before it is written back to the AM.
+
+Under the paper's dataflow only the very first window of each row is
+computed from raw values; every subsequent window — including column 0 of
+later pallets, via round-robin hand-off — is differential.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import AcceleratorConfig, DIFFY_CONFIG
+from repro.arch.cycles import LayerCycles, serial_layer_cycles
+from repro.core.booth import WORD_BITS, booth_terms
+from repro.core.deltas import spatial_deltas
+from repro.nn.trace import ConvLayerTrace
+
+
+class DiffyModel:
+    """Cycle model of the Diffy accelerator."""
+
+    name = "Diffy"
+
+    def __init__(self, config: AcceleratorConfig = DIFFY_CONFIG, axis: str = "x"):
+        if axis not in ("x", "y"):
+            raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+        self.config = config
+        self.axis = axis
+
+    def term_map(self, layer: ConvLayerTrace) -> np.ndarray:
+        """Term counts of the delta imap, raw in the head chain positions.
+
+        Deltas of adjacent 16-bit values can transiently need 17 bits; the
+        hardware's delta datapath is one bit wider internally, but the
+        Booth recoder works on 16-bit storage words, so we saturate —
+        post-ReLU maps never hit this in practice.
+        """
+        padded = layer.padded_imap()
+        deltas = spatial_deltas(padded, axis=self.axis, stride=layer.stride)
+        lo, hi = -(1 << (WORD_BITS - 1)), (1 << (WORD_BITS - 1)) - 1
+        terms = booth_terms(np.clip(deltas, lo, hi))
+        return terms
+
+    def layer_cycles(self, layer: ConvLayerTrace) -> LayerCycles:
+        """Cycle accounting with the raw-first-window-of-row dataflow.
+
+        The head window of each chain (leftmost per row for X chains) is
+        processed on raw values; its aggregates are computed separately and
+        spliced over the delta-based ones, because a head window's *taps*
+        overlap positions that later windows consume as deltas.
+        """
+        return serial_layer_cycles(
+            layer,
+            self.term_map(layer),
+            self.config,
+            head_term_map=booth_terms(layer.padded_imap()),
+            axis=self.axis,
+        )
+
+    def reconstruction_adds(self, layer: ConvLayerTrace) -> int:
+        """DR cascade additions for the layer (one per differential output)."""
+        k, out_h, out_w = layer.omap_shape
+        differential = out_h * (out_w - 1) if self.axis == "x" else (out_h - 1) * out_w
+        return differential * k

@@ -1,0 +1,160 @@
+"""Effectual-term counting via modified Booth (signed power-of-two) recoding.
+
+PRA — and therefore Diffy — multiplies a weight by an activation one
+*effectual term* at a time: the activation is recoded into signed powers of
+two and each nonzero term costs one cycle on a shifter/adder (Eq 2 and the
+surrounding discussion in Section II-B).  Two recoders are provided:
+
+``"booth"`` (default)
+    Radix-4 modified Booth: the activation's 16 bits become 8 signed
+    digits in {-2, -1, 0, +1, +2}, each nonzero digit a signed power of
+    two.  This is what PRA's offset generators implement in hardware.
+
+``"naf"``
+    Non-adjacent form (canonical signed digit): the *minimal* signed
+    power-of-two representation.  Cheaper in terms but more expensive to
+    generate; kept as the idealized ablation.
+
+Example: 7 = 0b0111 costs three add terms raw, two under either recoding
+(+8, -1).
+
+Per-value term counts are precomputed into 65536-entry lookup tables so
+that counting terms over multi-megabyte activation traces is a single
+fancy index.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+#: Word width the recoder supports (activation/delta storage width).
+WORD_BITS = 16
+_MASK = (1 << WORD_BITS) - 1
+
+#: Radix-4 digit count for a 16-bit word.
+R4_DIGITS = WORD_BITS // 2
+
+#: Radix-4 Booth digit value per bit triplet (b_{2i+1}, b_{2i}, b_{2i-1}).
+_R4_TABLE = (0, 1, 1, 2, -2, -1, -1, 0)
+
+#: Default encoding used across the package.
+DEFAULT_ENCODING = "booth"
+
+
+def naf_digits(value: int) -> list[int]:
+    """NAF recoding of a signed integer into signed power-of-two terms.
+
+    Returns the list of signed terms (each ``±2**k``) whose sum is
+    ``value``.  The representation is minimal and has no two adjacent
+    nonzero digits.
+
+    >>> naf_digits(7)
+    [-1, 8]
+    >>> naf_digits(0)
+    []
+    """
+    v = int(value)
+    terms = []
+    k = 0
+    while v != 0:
+        if v & 1:
+            digit = 2 - (v & 3)  # +1 if v % 4 == 1, -1 if v % 4 == 3
+            terms.append(digit << k if digit > 0 else -(1 << k))
+            v -= digit
+        v >>= 1
+        k += 1
+    return terms
+
+
+#: Backwards-compatible alias used by examples/tests.
+booth_digits = naf_digits
+
+
+def r4_booth_digits(value: int) -> list[int]:
+    """Radix-4 modified Booth terms (signed powers of two) of a value.
+
+    >>> sum(r4_booth_digits(-12345)) == -12345
+    True
+    """
+    v = int(value)
+    if not -(1 << (WORD_BITS - 1)) <= v <= (1 << (WORD_BITS - 1)) - 1:
+        raise ValueError(f"value {v} outside signed {WORD_BITS}-bit range")
+    terms = []
+    for i in range(R4_DIGITS):
+        if i == 0:
+            triplet = (v & 3) << 1  # b1 b0, with b_{-1} = 0
+        else:
+            triplet = (v >> (2 * i - 1)) & 7
+        digit = _R4_TABLE[triplet]
+        if digit:
+            terms.append(digit * (1 << (2 * i)))
+    return terms
+
+
+def _naf_counts_for_all_words() -> np.ndarray:
+    """Vectorized NAF nonzero-digit count for every 16-bit pattern."""
+    raw = np.arange(1 << WORD_BITS, dtype=np.int64)
+    values = np.where(raw >= (1 << (WORD_BITS - 1)), raw - (1 << WORD_BITS), raw)
+    counts = np.zeros(values.shape, dtype=np.uint8)
+    v = values.copy()
+    # NAF digit extraction; a 16-bit signed value needs at most 17 rounds.
+    for _ in range(WORD_BITS + 2):
+        odd = (v & 1).astype(bool)
+        digit = np.where(odd, 2 - (v & 3), 0)
+        counts += odd.astype(np.uint8)
+        v = (v - digit) >> 1
+    return counts
+
+
+def _r4_counts_for_all_words() -> np.ndarray:
+    """Vectorized radix-4 Booth nonzero-digit count for every 16-bit word."""
+    raw = np.arange(1 << WORD_BITS, dtype=np.int64)
+    values = np.where(raw >= (1 << (WORD_BITS - 1)), raw - (1 << WORD_BITS), raw)
+    counts = np.zeros(values.shape, dtype=np.uint8)
+    for i in range(R4_DIGITS):
+        if i == 0:
+            triplet = (values & 3) << 1
+        else:
+            triplet = (values >> (2 * i - 1)) & 7
+        nonzero = (triplet != 0) & (triplet != 7)
+        counts += nonzero.astype(np.uint8)
+    return counts
+
+
+@lru_cache(maxsize=None)
+def term_count_lut(encoding: str = DEFAULT_ENCODING) -> np.ndarray:
+    """The (read-only) 65536-entry effectual-term-count lookup table."""
+    if encoding == "booth":
+        lut = _r4_counts_for_all_words()
+    elif encoding == "naf":
+        lut = _naf_counts_for_all_words()
+    else:
+        raise ValueError(f"unknown encoding {encoding!r}; expected 'booth' or 'naf'")
+    lut.setflags(write=False)
+    return lut
+
+
+def booth_terms(values: np.ndarray, encoding: str = DEFAULT_ENCODING) -> np.ndarray:
+    """Effectual-term count per element of a signed 16-bit integer array.
+
+    This is the number of cycles a PRA/Diffy serial inner-product unit
+    spends on each value (zero values cost zero cycles).
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    lo, hi = -(1 << (WORD_BITS - 1)), (1 << (WORD_BITS - 1)) - 1
+    if arr.size and (arr.min() < lo or arr.max() > hi):
+        raise ValueError(
+            f"values outside signed {WORD_BITS}-bit range: "
+            f"min={arr.min()}, max={arr.max()}"
+        )
+    return term_count_lut(encoding)[arr & _MASK].astype(np.int64)
+
+
+def mean_terms(values: np.ndarray, encoding: str = DEFAULT_ENCODING) -> float:
+    """Average effectual terms per value (Fig 2 caption statistic)."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        raise ValueError("mean_terms needs a non-empty array")
+    return float(booth_terms(arr, encoding).mean())

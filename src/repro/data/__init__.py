@@ -1,0 +1,24 @@
+"""Synthetic image substrate.
+
+The paper evaluates on seven real image datasets (Table II).  Offline we
+cannot ship those images, so this subpackage provides a procedural
+natural-image synthesizer and seven seeded dataset objects with the paper's
+sample counts and resolutions.  What matters for every Diffy measurement is
+the *spatial statistics* of the inputs — smooth regions dominated by slowly
+varying intensity, separated by sharp edges — which the synthesizer
+reproduces (1/f^2 power-spectrum clouds + piecewise-constant regions +
+geometric structures + optional sensor noise).
+"""
+
+from repro.data.synthesis import ImageProfile, PROFILES, synthesize_image
+from repro.data.datasets import Dataset, TABLE2_DATASETS, dataset, list_datasets
+
+__all__ = [
+    "ImageProfile",
+    "PROFILES",
+    "synthesize_image",
+    "Dataset",
+    "TABLE2_DATASETS",
+    "dataset",
+    "list_datasets",
+]

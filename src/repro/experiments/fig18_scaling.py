@@ -1,0 +1,131 @@
+"""Fig 18: minimum configuration for real-time (30 FPS) HD processing.
+
+For each model and compression scheme, search the smallest tile count and
+cheapest memory system that sustain 30 FPS at HD.  Scaled configurations
+use the hybrid partition (tiles beyond the filter-group count split output
+rows).  The paper: DnCNN is the most demanding (32 tiles + HBM2 under
+DeltaD16); VDSR needs 16 tiles but only dual-channel LPDDR3E-2133 thanks
+to its sparsity; FFDNet/JointNet need 8 tiles with dual-channel
+LPDDR3-1600; IRCNN 12 tiles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.config import DIFFY_CONFIG
+from repro.arch.memory import memory_system
+from repro.arch.sim import simulate_network
+from repro.experiments.common import (
+    CI_MODEL_NAMES,
+    DEFAULT_DATASET,
+    DEFAULT_TRACE_COUNT,
+    format_table,
+)
+from repro.utils.rng import DEFAULT_SEED
+
+#: Tile counts to consider, smallest first.
+TILE_SWEEP = (4, 8, 12, 16, 24, 32, 48, 64)
+
+#: Memory configurations (technology, channels), cheapest first — the
+#: paper's v-r-x axis.
+MEMORY_SWEEP: tuple[tuple[str, int], ...] = (
+    ("LPDDR3-1600", 1),
+    ("LPDDR3-1600", 2),
+    ("LPDDR3E-2133", 2),
+    ("LPDDR4-3200", 2),
+    ("LPDDR4X-3733", 2),
+    ("LPDDR4X-4267", 2),
+    ("HBM2", 1),
+    ("HBM3", 1),
+)
+
+FIG18_SCHEMES = ("NoCompression", "Profiled", "DeltaD16")
+
+TARGET_FPS = 30.0
+
+
+@dataclass(frozen=True)
+class Fig18Cell:
+    tiles: int
+    memory: str
+    channels: int
+    fps: float
+
+
+@dataclass(frozen=True)
+class Fig18Result:
+    #: {network: {scheme: minimal config or None}}
+    grid: dict[str, dict[str, Optional[Fig18Cell]]]
+
+
+def _min_config(
+    model: str, scheme: str, dataset: str, trace_count: int, seed: int
+) -> Optional[Fig18Cell]:
+    for tiles in TILE_SWEEP:
+        config = dataclasses.replace(
+            DIFFY_CONFIG.with_tiles(tiles), partition="hybrid"
+        )
+        # Check compute feasibility with ideal memory first (cheap pruning):
+        ideal = simulate_network(
+            model, "Diffy", scheme=scheme, memory="Ideal", config=config,
+            dataset_name=dataset, trace_count=trace_count, seed=seed,
+        )
+        if ideal.fps < TARGET_FPS:
+            continue
+        for tech, channels in MEMORY_SWEEP:
+            res = simulate_network(
+                model, "Diffy", scheme=scheme,
+                memory=memory_system(tech, channels), config=config,
+                dataset_name=dataset, trace_count=trace_count, seed=seed,
+            )
+            if res.fps >= TARGET_FPS:
+                return Fig18Cell(
+                    tiles=tiles, memory=tech, channels=channels, fps=res.fps
+                )
+    return None
+
+
+def run(
+    models: tuple[str, ...] = CI_MODEL_NAMES,
+    schemes: tuple[str, ...] = FIG18_SCHEMES,
+    dataset: str = DEFAULT_DATASET,
+    trace_count: int = DEFAULT_TRACE_COUNT,
+    seed: int = DEFAULT_SEED,
+) -> Fig18Result:
+    grid: dict[str, dict[str, Optional[Fig18Cell]]] = {}
+    for model in models:
+        grid[model] = {
+            scheme: _min_config(model, scheme, dataset, trace_count, seed)
+            for scheme in schemes
+        }
+    return Fig18Result(grid=grid)
+
+
+def format_result(result: Fig18Result) -> str:
+    schemes = list(next(iter(result.grid.values())))
+    rows = []
+    for model, per_scheme in result.grid.items():
+        row = [model]
+        for scheme in schemes:
+            cell = per_scheme[scheme]
+            if cell is None:
+                row.append("unreachable")
+            else:
+                row.append(f"{cell.tiles}t {cell.memory}x{cell.channels} ({cell.fps:.0f}fps)")
+        rows.append(row)
+    return format_table(
+        ["network"] + schemes,
+        rows,
+        title="Fig 18: minimum Diffy configuration for 30 FPS HD",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_result(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,33 @@
+"""Model zoo: the paper's CI-DNNs (Table I) and classification models (Fig 19).
+
+Topologies follow the paper and the original model papers exactly
+(layer counts, channel widths, kernel sizes, dilation schedules, input
+reshuffles).  Weights are synthetic — random filter banks with a low-pass
+bias plus per-layer sparsity-calibrated biases — because what Diffy
+measures is the *statistics* of the activation stream, not output quality
+(see DESIGN.md, substitutions table).
+"""
+
+from repro.models.registry import (
+    ModelSpec,
+    CI_MODELS,
+    CLASSIFICATION_MODELS,
+    ALL_MODELS,
+    get_model_spec,
+    build_model,
+    prepare_model,
+    list_models,
+)
+from repro.models.inputs import adapt_input
+
+__all__ = [
+    "ModelSpec",
+    "CI_MODELS",
+    "CLASSIFICATION_MODELS",
+    "ALL_MODELS",
+    "get_model_spec",
+    "build_model",
+    "prepare_model",
+    "list_models",
+    "adapt_input",
+]

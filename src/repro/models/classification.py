@@ -1,0 +1,210 @@
+"""Classification / detection / segmentation models for Fig 19.
+
+The paper runs "several well known ImageNet classification models" plus
+FCN_Seg (semantic segmentation), YOLO V2 (Darknet-19 backbone) and SegNet.
+Only the convolutional layers matter to VAA/PRA/Diffy (fully-connected
+heads are out of scope for all three designs), so the builders below model
+the convolutional trunks with faithful channel/kernel/stride progressions.
+GoogLeNet's inception branches are sequentialized to an equivalent-width
+3x3 trunk — a documented approximation that preserves per-layer work and
+value statistics (see DESIGN.md).
+
+Classification activations are less spatially correlated than CI-DNN ones
+(deep layers encode semantics, not pixels), which the synthetic banks
+reproduce with a lower low-pass mix; this is what limits Diffy's edge over
+PRA to the paper's modest 1.16x for this model class.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.models.weights import conv
+from repro.nn.layers import Layer, MaxPool2d, UpsampleNearest
+from repro.nn.network import Network
+from repro.utils.rng import rng_for
+
+#: Lower low-pass mix: classification features are less image-like.
+_CLS_SMOOTHNESS = 0.30
+
+#: Typical ImageNet-model ReLU sparsity.
+_CLS_SPARSITY = 0.50
+
+
+def _vgg_block(
+    rng, layers: list[Layer], prefix: str, count: int, cin: int, cout: int, pool: bool = True
+) -> int:
+    for i in range(count):
+        layers.append(
+            conv(
+                rng,
+                f"{prefix}_{i + 1}",
+                cin if i == 0 else cout,
+                cout,
+                sparsity=_CLS_SPARSITY,
+                smoothness=_CLS_SMOOTHNESS,
+            )
+        )
+    if pool:
+        layers.append(MaxPool2d(f"{prefix}_pool", 2))
+    return cout
+
+
+def build_alexnet(seed: int) -> Network:
+    """AlexNet convolutional trunk (5 convs)."""
+    rng = rng_for(seed, "model", "AlexNet")
+    sp, sm = _CLS_SPARSITY, _CLS_SMOOTHNESS
+    layers: list[Layer] = [
+        conv(rng, "conv1", 3, 96, kernel=11, stride=4, padding=2, sparsity=sp, smoothness=sm),
+        MaxPool2d("pool1", 3, 2),
+        conv(rng, "conv2", 96, 256, kernel=5, padding=2, sparsity=sp, smoothness=sm),
+        MaxPool2d("pool2", 3, 2),
+        conv(rng, "conv3", 256, 384, sparsity=sp, smoothness=sm),
+        conv(rng, "conv4", 384, 384, sparsity=sp, smoothness=sm),
+        conv(rng, "conv5", 384, 256, sparsity=sp, smoothness=sm),
+    ]
+    return Network("AlexNet", layers, input_channels=3, task="classify")
+
+
+def build_nin(seed: int) -> Network:
+    """Network-in-Network: conv trunk with 1x1 mlpconv layers."""
+    rng = rng_for(seed, "model", "NiN")
+    sp, sm = _CLS_SPARSITY, _CLS_SMOOTHNESS
+    layers: list[Layer] = [
+        conv(rng, "conv1", 3, 96, kernel=11, stride=4, padding=2, sparsity=sp, smoothness=sm),
+        conv(rng, "cccp1", 96, 96, kernel=1, sparsity=sp, smoothness=sm),
+        conv(rng, "cccp2", 96, 96, kernel=1, sparsity=sp, smoothness=sm),
+        MaxPool2d("pool1", 3, 2),
+        conv(rng, "conv2", 96, 256, kernel=5, padding=2, sparsity=sp, smoothness=sm),
+        conv(rng, "cccp3", 256, 256, kernel=1, sparsity=sp, smoothness=sm),
+        conv(rng, "cccp4", 256, 256, kernel=1, sparsity=sp, smoothness=sm),
+        MaxPool2d("pool2", 3, 2),
+        conv(rng, "conv3", 256, 384, sparsity=sp, smoothness=sm),
+        conv(rng, "cccp5", 384, 384, kernel=1, sparsity=sp, smoothness=sm),
+        conv(rng, "cccp6", 384, 384, kernel=1, sparsity=sp, smoothness=sm),
+    ]
+    return Network("NiN", layers, input_channels=3, task="classify")
+
+
+def build_vgg19(seed: int) -> Network:
+    """VGG-19 convolutional trunk (16 convs)."""
+    rng = rng_for(seed, "model", "VGG19")
+    layers: list[Layer] = []
+    c = 3
+    c = _vgg_block(rng, layers, "block1", 2, c, 64)
+    c = _vgg_block(rng, layers, "block2", 2, c, 128)
+    c = _vgg_block(rng, layers, "block3", 4, c, 256)
+    c = _vgg_block(rng, layers, "block4", 4, c, 512)
+    _vgg_block(rng, layers, "block5", 4, c, 512, pool=False)
+    return Network("VGG19", layers, input_channels=3, task="classify")
+
+
+def build_googlenet(seed: int) -> Network:
+    """GoogLeNet with inception stages sequentialized to 3x3 trunks."""
+    rng = rng_for(seed, "model", "GoogLeNet")
+    sp, sm = _CLS_SPARSITY, _CLS_SMOOTHNESS
+    layers: list[Layer] = [
+        conv(rng, "conv1", 3, 64, kernel=7, stride=2, padding=3, sparsity=sp, smoothness=sm),
+        MaxPool2d("pool1", 2),
+        conv(rng, "conv2_reduce", 64, 64, kernel=1, sparsity=sp, smoothness=sm),
+        conv(rng, "conv2", 64, 192, sparsity=sp, smoothness=sm),
+        MaxPool2d("pool2", 2),
+    ]
+    # Sequentialized inception output widths (3a..5b).
+    widths = [256, 480, 512, 512, 528, 832, 832, 1024]
+    cin = 192
+    for i, cout in enumerate(widths):
+        if i == 2 or i == 6:
+            layers.append(MaxPool2d(f"pool{3 + (i == 6)}", 2))
+        layers.append(
+            conv(rng, f"inception_{i + 1}", cin, cout, sparsity=sp, smoothness=sm)
+        )
+        cin = cout
+    return Network("GoogLeNet", layers, input_channels=3, task="classify")
+
+
+def build_fcn_seg(seed: int) -> Network:
+    """FCN-style semantic segmentation: VGG-16 trunk + score/upsample head."""
+    rng = rng_for(seed, "model", "FCN_Seg")
+    sp, sm = _CLS_SPARSITY, _CLS_SMOOTHNESS
+    layers: list[Layer] = []
+    c = 3
+    c = _vgg_block(rng, layers, "block1", 2, c, 64)
+    c = _vgg_block(rng, layers, "block2", 2, c, 128)
+    c = _vgg_block(rng, layers, "block3", 3, c, 256)
+    c = _vgg_block(rng, layers, "block4", 3, c, 512)
+    c = _vgg_block(rng, layers, "block5", 3, c, 512, pool=False)
+    layers.append(conv(rng, "score", c, 21, kernel=1, relu=False, smoothness=sm))
+    layers.append(UpsampleNearest("up1", 2))
+    layers.append(conv(rng, "refine1", 21, 21, sparsity=sp, smoothness=sm))
+    layers.append(UpsampleNearest("up2", 2))
+    layers.append(conv(rng, "refine2", 21, 21, relu=False, smoothness=sm))
+    return Network("FCN_Seg", layers, input_channels=3, task="segment")
+
+
+def build_yolo_v2(seed: int) -> Network:
+    """YOLO V2's Darknet-19 trunk (alternating 3x3 / 1x1 convolutions)."""
+    rng = rng_for(seed, "model", "YOLO_V2")
+    sp, sm = _CLS_SPARSITY, _CLS_SMOOTHNESS
+    spec: Sequence[tuple[str, int, int]] = [
+        # (name, out_channels, kernel); "P" entries are pools.
+        ("conv1", 32, 3),
+        ("P", 0, 0),
+        ("conv2", 64, 3),
+        ("P", 0, 0),
+        ("conv3", 128, 3),
+        ("conv4", 64, 1),
+        ("conv5", 128, 3),
+        ("P", 0, 0),
+        ("conv6", 256, 3),
+        ("conv7", 128, 1),
+        ("conv8", 256, 3),
+        ("P", 0, 0),
+        ("conv9", 512, 3),
+        ("conv10", 256, 1),
+        ("conv11", 512, 3),
+        ("conv12", 256, 1),
+        ("conv13", 512, 3),
+        ("P", 0, 0),
+        ("conv14", 1024, 3),
+        ("conv15", 512, 1),
+        ("conv16", 1024, 3),
+        ("conv17", 512, 1),
+        ("conv18", 1024, 3),
+        ("conv19", 1024, 3),
+    ]
+    layers: list[Layer] = []
+    cin = 3
+    pool_idx = 1
+    for name, cout, k in spec:
+        if name == "P":
+            layers.append(MaxPool2d(f"pool{pool_idx}", 2))
+            pool_idx += 1
+            continue
+        layers.append(conv(rng, name, cin, cout, kernel=k, sparsity=sp, smoothness=sm))
+        cin = cout
+    return Network("YOLO_V2", layers, input_channels=3, task="detect")
+
+
+def build_segnet(seed: int) -> Network:
+    """SegNet: VGG-style encoder with a mirrored upsampling decoder."""
+    rng = rng_for(seed, "model", "SegNet")
+    sp, sm = _CLS_SPARSITY, _CLS_SMOOTHNESS
+    layers: list[Layer] = []
+    c = 3
+    c = _vgg_block(rng, layers, "enc1", 2, c, 64)
+    c = _vgg_block(rng, layers, "enc2", 2, c, 128)
+    c = _vgg_block(rng, layers, "enc3", 3, c, 256)
+    decoder = [(256, 3, 128), (128, 2, 64), (64, 2, 64)]
+    for stage, (cin_stage, count, cout) in enumerate(decoder, start=1):
+        layers.append(UpsampleNearest(f"dec{stage}_up", 2))
+        cur = c if stage == 1 else cin_stage
+        for i in range(count):
+            out = cout if i == count - 1 else cin_stage
+            layers.append(
+                conv(rng, f"dec{stage}_{i + 1}", cur, out, sparsity=sp, smoothness=sm)
+            )
+            cur = out
+        c = cur
+    layers.append(conv(rng, "classifier", c, 12, relu=False, smoothness=sm))
+    return Network("SegNet", layers, input_channels=3, task="segment")

@@ -1,0 +1,154 @@
+"""Exact integer convolution and resampling primitives.
+
+Integer convolutions here are *bit-exact* models of what VAA/PRA/Diffy
+compute: 16-bit activations times 16-bit weights accumulated into a wide
+accumulator.  The implementation lowers to ``float64`` matrix multiplies
+for speed, which is exact as long as the accumulation stays below 2**53 —
+asserted at call time (a 16x16-bit product is < 2**31, so up to 2**22
+terms per output are safe; real layers have at most a few thousand).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+_EXACT_FLOAT_LIMIT = float(1 << 53)
+
+
+def _check_chw(x: np.ndarray, name: str = "x") -> np.ndarray:
+    arr = np.asarray(x)
+    if arr.ndim != 3:
+        raise ValueError(f"{name} must be a (C, H, W) array, got shape {arr.shape}")
+    return arr
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Extract convolution patches from a (C, H, W) array.
+
+    Returns an array of shape ``(Ho, Wo, C, Hf, Wf)`` where each
+    ``[y, x]`` slice is the input window that produces output ``(y, x)``.
+    This layout maps directly onto the paper's terminology: a *window* is
+    one ``[y, x]`` patch, a *brick* is 16 consecutive channels of it.
+    """
+    arr = _check_chw(x)
+    hf, wf = kernel
+    if padding:
+        arr = np.pad(arr, ((0, 0), (padding, padding), (padding, padding)))
+    eff_h = (hf - 1) * dilation + 1
+    eff_w = (wf - 1) * dilation + 1
+    if arr.shape[1] < eff_h or arr.shape[2] < eff_w:
+        raise ValueError(
+            f"input {arr.shape} too small for effective kernel ({eff_h}, {eff_w})"
+        )
+    win = sliding_window_view(arr, (eff_h, eff_w), axis=(1, 2))
+    win = win[:, ::stride, ::stride, ::dilation, ::dilation]
+    # (C, Ho, Wo, Hf, Wf) -> (Ho, Wo, C, Hf, Wf)
+    return np.transpose(win, (1, 2, 0, 3, 4))
+
+
+def conv2d_float(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Float convolution of a (C, H, W) input with (K, C, Hf, Wf) weights."""
+    arr = _check_chw(x)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 4 or w.shape[1] != arr.shape[0]:
+        raise ValueError(
+            f"weights must be (K, C={arr.shape[0]}, Hf, Wf), got {w.shape}"
+        )
+    k, c, hf, wf = w.shape
+    cols = im2col(arr.astype(np.float64), (hf, wf), stride, padding, dilation)
+    ho, wo = cols.shape[:2]
+    flat = cols.reshape(ho * wo, c * hf * wf)
+    out = flat @ w.reshape(k, c * hf * wf).T
+    out = out.T.reshape(k, ho, wo)
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float64).reshape(-1, 1, 1)
+    return out
+
+
+def conv2d_int(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> np.ndarray:
+    """Exact integer convolution (wide accumulator), returned as ``int64``.
+
+    ``x`` and ``weights`` are integer arrays (fixed-point mantissas).  The
+    result is the exact sum of products, i.e. the accumulator contents
+    before any requantization.
+    """
+    arr = _check_chw(x)
+    w = np.asarray(weights)
+    if not np.issubdtype(arr.dtype, np.integer) or not np.issubdtype(w.dtype, np.integer):
+        raise TypeError("conv2d_int requires integer inputs and weights")
+    terms = w.shape[1] * w.shape[2] * w.shape[3]
+    max_prod = float(np.max(np.abs(arr), initial=0)) * float(np.max(np.abs(w), initial=0))
+    if max_prod * terms >= _EXACT_FLOAT_LIMIT:
+        raise OverflowError(
+            "accumulation may exceed float64 exact-integer range; "
+            f"max|product| * terms = {max_prod * terms:.3g}"
+        )
+    out = conv2d_float(
+        arr.astype(np.float64), w.astype(np.float64), None, stride, padding, dilation
+    )
+    acc = out.astype(np.int64)
+    if bias is not None:
+        acc = acc + np.asarray(bias, dtype=np.int64).reshape(-1, 1, 1)
+    return acc
+
+
+def space_to_depth(x: np.ndarray, factor: int) -> np.ndarray:
+    """Rearrange (C, H, W) -> (C * factor**2, H/factor, W/factor).
+
+    FFDNet feeds the network a 2x2 pixel-shuffled input (4 image tiles
+    stacked along the channel dimension); this implements that reshuffle.
+    """
+    arr = _check_chw(x)
+    c, h, w = arr.shape
+    if h % factor or w % factor:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by factor {factor}")
+    out = arr.reshape(c, h // factor, factor, w // factor, factor)
+    out = np.transpose(out, (2, 4, 0, 1, 3))
+    return out.reshape(c * factor * factor, h // factor, w // factor)
+
+
+def depth_to_space(x: np.ndarray, factor: int) -> np.ndarray:
+    """Inverse of :func:`space_to_depth` (a.k.a. pixel shuffle)."""
+    arr = _check_chw(x)
+    c, h, w = arr.shape
+    if c % (factor * factor):
+        raise ValueError(f"channels {c} not divisible by factor**2 = {factor * factor}")
+    out = arr.reshape(factor, factor, c // (factor * factor), h, w)
+    out = np.transpose(out, (2, 3, 0, 4, 1))
+    return out.reshape(c // (factor * factor), h * factor, w * factor)
+
+
+def upsample_nearest(x: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbour upsampling of a (C, H, W) array."""
+    arr = _check_chw(x)
+    return np.repeat(np.repeat(arr, factor, axis=1), factor, axis=2)
+
+
+def max_pool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    """Max pooling over a (C, H, W) array (valid padding)."""
+    arr = _check_chw(x)
+    stride = stride or kernel
+    win = sliding_window_view(arr, (kernel, kernel), axis=(1, 2))
+    win = win[:, ::stride, ::stride]
+    return win.max(axis=(-1, -2))

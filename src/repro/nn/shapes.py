@@ -1,0 +1,75 @@
+"""Resolution scaling: conv-layer shapes at arbitrary input resolutions.
+
+The CI-DNNs are fully convolutional, so per-window statistics measured on
+a crop transfer to any resolution; what changes is the *number* of windows
+and values per layer.  This module propagates an input shape through a
+network and reports every conv layer's imap/omap shapes — the scaling
+factors used by the footprint, traffic and cycle models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.layers import Conv2d
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Geometry of one conv layer at a given network input resolution."""
+
+    name: str
+    index: int
+    imap_shape: tuple[int, int, int]
+    omap_shape: tuple[int, int, int]
+    kernel: int
+    stride: int
+    dilation: int
+
+    @property
+    def imap_values(self) -> int:
+        c, h, w = self.imap_shape
+        return c * h * w
+
+    @property
+    def omap_values(self) -> int:
+        c, h, w = self.omap_shape
+        return c * h * w
+
+    @property
+    def windows(self) -> int:
+        return self.omap_shape[1] * self.omap_shape[2]
+
+    @property
+    def macs(self) -> int:
+        return self.windows * self.omap_shape[0] * self.imap_shape[0] * self.kernel**2
+
+    @property
+    def weight_bytes(self) -> int:
+        """Dense 16-bit filter storage for the layer."""
+        return self.omap_shape[0] * self.imap_shape[0] * self.kernel**2 * 2
+
+
+def conv_layer_shapes(network: Network, height: int, width: int) -> list[LayerShape]:
+    """Per-conv-layer shapes for a (network.input_channels, H, W) input."""
+    shape = (network.input_channels, height, width)
+    out: list[LayerShape] = []
+    index = 0
+    for layer in network.layers:
+        next_shape = layer.out_shape(shape)
+        if isinstance(layer, Conv2d):
+            out.append(
+                LayerShape(
+                    name=layer.name,
+                    index=index,
+                    imap_shape=shape,
+                    omap_shape=next_shape,
+                    kernel=layer.kernel,
+                    stride=layer.stride,
+                    dilation=layer.dilation,
+                )
+            )
+            index += 1
+        shape = next_shape
+    return out

@@ -1,0 +1,54 @@
+"""Bit-level helpers for fixed-point value manipulation.
+
+The Diffy paper reasons about activation storage in terms of the minimum
+number of bits needed to represent values (profiled per-layer precisions,
+Table III; dynamic per-group precisions, Section III-F).  These helpers
+define that arithmetic in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bits_for_magnitude(values: np.ndarray) -> np.ndarray:
+    """Number of magnitude bits needed per element (0 for a zero value).
+
+    For a non-negative integer ``v`` this is ``ceil(log2(v + 1))`` — the
+    length of its binary representation.  Vectorized; accepts any integer
+    array and returns ``int64``.
+    """
+    mags = np.abs(np.asarray(values, dtype=np.int64))
+    out = np.zeros(mags.shape, dtype=np.int64)
+    nz = mags > 0
+    # int(v).bit_length() == floor(log2(v)) + 1 for v > 0.
+    out[nz] = np.floor(np.log2(mags[nz])).astype(np.int64) + 1
+    return out
+
+
+def bits_for_signed(values: np.ndarray) -> np.ndarray:
+    """Bits needed to store each element in two's complement (incl. sign).
+
+    A zero needs 1 bit; a positive value ``v`` needs ``bit_length(v) + 1``
+    bits; a negative value ``v`` needs ``bit_length(-v - 1) + 1`` bits
+    (e.g. -1 → 1 bit pattern "1", stored in ≥1 bit; -8 → 4 bits).
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    pos_bits = bits_for_magnitude(np.where(arr >= 0, arr, 0)) + 1
+    neg_bits = bits_for_magnitude(np.where(arr < 0, -arr - 1, 0)) + 1
+    out = np.where(arr >= 0, pos_bits, neg_bits)
+    out[arr == 0] = 1
+    return out
+
+
+def signed_range(bits: int) -> tuple[int, int]:
+    """Inclusive (min, max) representable in ``bits``-bit two's complement."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+def clamp_signed(values: np.ndarray, bits: int) -> np.ndarray:
+    """Saturate an integer array to the ``bits``-bit signed range."""
+    lo, hi = signed_range(bits)
+    return np.clip(np.asarray(values, dtype=np.int64), lo, hi)

@@ -1,0 +1,32 @@
+"""Small argument-validation helpers used across the package.
+
+They raise ``ValueError`` with uniform, descriptive messages so that misuse
+of the public API fails loudly and early.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in(name: str, value: object, allowed: Collection) -> None:
+    """Raise ``ValueError`` unless ``value`` is a member of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")
+
+
+def check_axis(name: str, axis: str) -> None:
+    """Validate a spatial-delta axis designator ('x' or 'y')."""
+    check_in(name, axis, ("x", "y"))

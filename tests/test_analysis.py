@@ -1,0 +1,144 @@
+"""Tests for the value-stream analyses (Figs 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.entropy import (
+    conditional_entropy_adjacent,
+    delta_entropy,
+    entropy,
+    joint_entropy_pairs,
+    trace_entropy_stats,
+)
+from repro.analysis.potential import potential_speedups
+from repro.analysis.spatial import heatmap_data
+from repro.analysis.terms import MAX_TERMS, term_cdf, term_histogram, trace_term_stats
+from repro.utils.rng import rng_for
+
+
+class TestEntropy:
+    def test_uniform_distribution(self):
+        vals = np.arange(256)
+        assert entropy(vals) == pytest.approx(8.0)
+
+    def test_constant_is_zero(self):
+        assert entropy(np.full(100, 7)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([]))
+
+    def test_joint_entropy_independent(self):
+        rng = rng_for(0, "H")
+        a = rng.integers(0, 4, 200000)
+        b = rng.integers(0, 4, 200000)
+        assert joint_entropy_pairs(a, b) == pytest.approx(4.0, abs=0.01)
+
+    def test_joint_entropy_identical(self):
+        a = np.arange(256)
+        assert joint_entropy_pairs(a, a) == pytest.approx(8.0)
+
+    def test_joint_requires_alignment(self):
+        with pytest.raises(ValueError):
+            joint_entropy_pairs(np.zeros(3), np.zeros(4))
+
+    def test_joint_handles_negative_values(self):
+        a = np.array([-5, -5, 3, 3])
+        b = np.array([-5, 3, -5, 3])
+        assert joint_entropy_pairs(a, b) == pytest.approx(2.0)
+
+    def test_conditional_entropy_of_copy_is_zero(self):
+        fmap = np.tile(np.arange(64), (4, 1))  # every column equals prev + 1
+        assert conditional_entropy_adjacent(fmap, "x") == pytest.approx(0.0, abs=1e-9)
+
+    def test_conditional_le_marginal(self):
+        rng = rng_for(1, "H2")
+        # Correlated stream: random walk.
+        walk = np.cumsum(rng.integers(-2, 3, (4, 500)), axis=-1)
+        assert conditional_entropy_adjacent(walk, "x") <= entropy(walk[..., 1:]) + 1e-9
+
+    def test_delta_entropy_of_smooth_below_raw(self):
+        rng = rng_for(2, "H3")
+        walk = np.cumsum(rng.integers(-2, 3, (4, 2000)), axis=-1)
+        assert delta_entropy(walk, "x") < entropy(walk)
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            conditional_entropy_adjacent(np.zeros((2, 2)), "z")
+
+
+class TestTraceEntropyStats:
+    def test_fig1_ordering(self, dncnn_trace):
+        stats = trace_entropy_stats([dncnn_trace])
+        # The paper's Fig 1 relations: H(A|A') <= H(A), H(delta) < H(A).
+        assert stats.h_conditional <= stats.h_raw + 1e-9
+        assert stats.h_delta < stats.h_raw
+        assert stats.compression_delta > 1.0
+        assert stats.compression_conditional >= 1.0
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            trace_entropy_stats([])
+
+
+class TestTermStats:
+    def test_histogram_bins(self):
+        hist = term_histogram(np.array([0, 1, 1, 4]))
+        assert hist[0] == 1  # the zero
+        assert hist.sum() == 4
+        assert len(hist) == MAX_TERMS + 1
+
+    def test_cdf_monotone_ends_at_one(self):
+        hist = term_histogram(rng_for(3, "cdf").integers(-3000, 3000, 1000))
+        cdf = term_cdf(hist)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_cdf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            term_cdf(np.zeros(9, dtype=np.int64))
+
+    def test_trace_stats_fig3_shape(self, dncnn_trace):
+        stats = trace_term_stats([dncnn_trace])
+        # Fig 3: deltas have fewer mean terms, and beyond the first couple
+        # of bins the delta CDF dominates the raw CDF (most deltas need few
+        # terms).  At the zero bin the two streams are close — delta
+        # sparsity roughly tracks raw sparsity.
+        assert stats.mean_terms_delta < stats.mean_terms_raw
+        assert np.all(stats.cdf_delta[2:] >= stats.cdf_raw[2:] - 1e-12)
+        assert 0.0 < stats.sparsity_raw < 1.0
+        assert abs(stats.sparsity_delta - stats.sparsity_raw) < 0.15
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            trace_term_stats([])
+
+
+class TestHeatmaps:
+    def test_fig2_shapes_and_stats(self, dncnn_trace):
+        layer = dncnn_trace[2]  # conv_3, as in the paper
+        data = heatmap_data(layer)
+        h, w = layer.imap.shape[1:]
+        assert data.raw.shape == (h, w)
+        assert data.delta.shape == (h, w)
+        assert data.term_reduction.shape == (h, w)
+        assert data.mean_terms_delta < data.mean_terms_raw
+        assert data.potential_work_reduction > 1.0
+
+    def test_delta_heatmap_smaller_than_raw(self, dncnn_trace):
+        data = heatmap_data(dncnn_trace[2])
+        assert data.delta.mean() < data.raw.mean()
+
+
+class TestPotential:
+    def test_fig4_ordering(self, dncnn_trace):
+        pot = potential_speedups([dncnn_trace])
+        # DeltaE > RawE > 1 and both below the 16x hard ceiling... DeltaE can
+        # exceed 16x only with sparsity > 15/16, impossible here.
+        assert 1.0 < pot.raw_effectual < 16.0
+        assert pot.raw_effectual < pot.delta_effectual
+        assert pot.delta_over_raw > 1.0
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            potential_speedups([])

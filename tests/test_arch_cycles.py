@@ -1,0 +1,168 @@
+"""Tests for the shared cycle-counting machinery."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import DIFFY_CONFIG, AcceleratorConfig
+from repro.arch.cycles import (
+    filter_passes,
+    geometry_occupancies,
+    lane_term_totals,
+    pallet_cycles,
+    step_term_maxima,
+)
+
+
+def _cfg(**kw):
+    base = dict(name="t", tiles=4, filters_per_tile=16, terms_per_filter=16)
+    base.update(kw)
+    return AcceleratorConfig(**base)
+
+
+class TestFilterPasses:
+    def test_fits_concurrent(self):
+        assert filter_passes(64, _cfg()) == 1
+
+    def test_multiple_passes(self):
+        assert filter_passes(128, _cfg()) == 2
+        assert filter_passes(65, _cfg()) == 2
+
+    def test_small_k_still_one_pass(self):
+        assert filter_passes(3, _cfg()) == 1
+
+    def test_hybrid_splits_rows(self):
+        # 3 filters -> 1 group; 4 tiles -> 4 row teams -> quarter passes.
+        assert filter_passes(3, _cfg(partition="hybrid")) == pytest.approx(0.25)
+
+    def test_hybrid_64_filters_4_tiles(self):
+        # 4 groups on 4 tiles: exactly one pass, no row split.
+        assert filter_passes(64, _cfg(partition="hybrid")) == pytest.approx(1.0)
+
+    def test_hybrid_scaled_up(self):
+        # 32 tiles, 4 groups -> 8 row teams.
+        assert filter_passes(64, _cfg(tiles=32, partition="hybrid")) == pytest.approx(1 / 8)
+
+
+class TestStepTermMaxima:
+    def test_simple_max(self):
+        # 2 channels, 3x3 spatial, 1x1 kernel.
+        tm = np.zeros((2, 3, 3), dtype=np.int64)
+        tm[0, 1, 1] = 5
+        tm[1, 1, 1] = 3
+        maxima, total = step_term_maxima(tm, 1, 1, 1, 3, 3, brick=16)
+        assert maxima.shape == (1, 3, 3)
+        assert maxima[0, 1, 1] == 5
+        assert total == 8
+
+    def test_steps_counted(self):
+        tm = np.zeros((33, 5, 5), dtype=np.int64)
+        maxima, _ = step_term_maxima(tm, 3, 1, 1, 3, 3, brick=16)
+        assert maxima.shape == (3 * 9, 3, 3)  # ceil(33/16)=3 bricks x 9 taps
+
+    def test_stride_and_dilation(self):
+        tm = np.arange(25, dtype=np.int64).reshape(1, 5, 5) % 7
+        maxima, _ = step_term_maxima(tm, 2, 2, 2, 2, 2, brick=16)
+        assert maxima.shape == (4, 2, 2)
+        # window (0,0), tap (1,1) at dilation 2 reads position (2,2).
+        assert maxima[3, 0, 0] == tm[0, 2, 2]
+
+
+class TestLaneTermTotals:
+    def test_folding_across_bricks(self):
+        # 32 channels fold into 16 lanes: lane c sums channels c and c+16.
+        tm = np.ones((32, 3, 3), dtype=np.int64)
+        totals, grand = lane_term_totals(tm, 1, 1, 1, 3, 3, brick=16)
+        assert totals.shape == (16, 3, 3)
+        assert np.all(totals == 2)
+        assert grand == totals.sum()
+
+    def test_kernel_taps_accumulate(self):
+        tm = np.ones((1, 4, 4), dtype=np.int64)
+        totals, _ = lane_term_totals(tm, 3, 1, 1, 2, 2, brick=1)
+        assert np.all(totals == 9)
+
+    def test_grand_total_matches_step_sum(self):
+        rng = np.random.default_rng(0)
+        tm = rng.integers(0, 8, (20, 6, 6))
+        _, t1 = lane_term_totals(tm, 3, 1, 1, 4, 4, brick=16)
+        _, t2 = step_term_maxima(tm, 3, 1, 1, 4, 4, brick=16)
+        assert t1 == t2
+
+
+class TestPalletCycles:
+    def test_lane_sync_max(self):
+        totals = np.zeros((16, 1, 16), dtype=np.int64)
+        totals[3, 0, 7] = 42
+        assert pallet_cycles(totals, 16, "lane") == 42.0
+
+    def test_row_sync_sums_phases(self):
+        # Two pallets in a row; phase 0 busy in both -> work adds up.
+        totals = np.zeros((16, 1, 32), dtype=np.int64)
+        totals[0, 0, 0] = 10
+        totals[0, 0, 16] = 20
+        assert pallet_cycles(totals, 16, "row") == 30.0
+
+    def test_column_sync(self):
+        maxima = np.zeros((2, 1, 16), dtype=np.int64)
+        maxima[0, 0, 3] = 4
+        maxima[1, 0, 3] = 5
+        maxima[0, 0, 9] = 7
+        # column 3 total = 9, column 9 total = 7 -> pallet takes 9.
+        assert pallet_cycles(maxima, 16, "column") == 9.0
+
+    def test_pallet_sync(self):
+        maxima = np.zeros((2, 1, 16), dtype=np.int64)
+        maxima[0, 0, 3] = 4
+        maxima[1, 0, 9] = 5
+        assert pallet_cycles(maxima, 16, "pallet") == 9.0
+
+    def test_tail_pallet_padded(self):
+        maxima = np.ones((1, 1, 18), dtype=np.int64)
+        # two pallets; the tail pallet runs with 14 idle columns.
+        assert pallet_cycles(maxima, 16, "pallet") == 2.0
+
+    def test_unknown_sync(self):
+        with pytest.raises(ValueError):
+            pallet_cycles(np.zeros((1, 1, 16), dtype=np.int64), 16, "psychic")
+
+    def test_sync_ordering_pessimism(self):
+        """lane <= column <= pallet on any data (more sync = more cycles).
+
+        Lane/row operate on lane totals, column/pallet on step maxima; the
+        ordering that must always hold is column <= pallet.
+        """
+        rng = np.random.default_rng(1)
+        maxima = rng.integers(0, 8, (9, 4, 32))
+        col = pallet_cycles(maxima, 16, "column")
+        pal = pallet_cycles(maxima, 16, "pallet")
+        assert col <= pal
+
+
+class TestGeometryOccupancies:
+    def _layer(self, cin, cout):
+        from tests.conftest import small_trace
+
+        trace = small_trace("DnCNN")
+        # Build a synthetic ConvLayerTrace-like record via dataclass replace.
+        from dataclasses import replace
+
+        layer = trace[0]
+        imap = np.zeros((cin, 4, 4), dtype=np.int64)
+        omap = np.zeros((cout, 4, 4), dtype=np.int64)
+        return replace(layer, imap=imap, omap=omap, out_channels=cout)
+
+    def test_three_filter_layer_keeps_3_of_64(self):
+        layer = self._layer(64, 3)
+        filter_occ, _ = geometry_occupancies(layer, DIFFY_CONFIG)
+        assert filter_occ == pytest.approx(3 / 64)
+
+    def test_three_channel_layer_keeps_3_of_16_lanes(self):
+        layer = self._layer(3, 64)
+        _, channel_occ = geometry_occupancies(layer, DIFFY_CONFIG)
+        assert channel_occ == pytest.approx(3 / 16)
+
+    def test_full_layer_fully_occupied(self):
+        layer = self._layer(64, 64)
+        filter_occ, channel_occ = geometry_occupancies(layer, DIFFY_CONFIG)
+        assert filter_occ == 1.0
+        assert channel_occ == 1.0

@@ -1,0 +1,139 @@
+"""Tests for the bitstream codecs: round-trips and size agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.codec import (
+    BitReader,
+    BitWriter,
+    GroupCodec,
+    RLEZeroCodec,
+)
+from repro.compression.schemes import RLEZero
+from repro.core.deltas import spatial_deltas
+from repro.core.precision import group_precisions
+
+
+class TestBitIO:
+    def test_roundtrip_values(self):
+        writer = BitWriter()
+        writer.write(5, 4)
+        writer.write(1023, 10)
+        writer.write(0, 3)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(4) == 5
+        assert reader.read(10) == 1023
+        assert reader.read(3) == 0
+
+    def test_write_range_checked(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(16, 4)
+        with pytest.raises(ValueError):
+            writer.write(-1, 4)
+
+    def test_reader_eof(self):
+        reader = BitReader(b"\xff")
+        reader.read(8)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    @given(st.lists(st.tuples(st.integers(0, 2**12 - 1), st.just(12)), max_size=40))
+    @settings(max_examples=40)
+    def test_many_fields_roundtrip(self, fields):
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in fields:
+            assert reader.read(width) == value
+
+
+class TestGroupCodec:
+    @given(
+        st.lists(st.integers(0, 32767), min_size=1, max_size=120),
+        st.sampled_from([4, 16]),
+    )
+    @settings(max_examples=60)
+    def test_unsigned_roundtrip(self, values, group):
+        codec = GroupCodec(group_size=group, signed=False)
+        arr = np.array(values)
+        encoded = codec.encode(arr)
+        assert np.array_equal(codec.decode(encoded), arr)
+
+    @given(
+        st.lists(st.integers(-32768, 32767), min_size=1, max_size=120),
+        st.sampled_from([4, 16]),
+    )
+    @settings(max_examples=60)
+    def test_signed_roundtrip(self, values, group):
+        codec = GroupCodec(group_size=group, signed=True)
+        arr = np.array(values)
+        encoded = codec.encode(arr)
+        assert np.array_equal(codec.decode(encoded), arr)
+
+    @given(st.lists(st.integers(-32768, 32767), min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_bits_match_accounting(self, values):
+        codec = GroupCodec(group_size=16, signed=True)
+        arr = np.array(values)
+        encoded = codec.encode(arr)
+        assert encoded.bits == group_precisions(arr, 16, signed=True).total_bits
+
+    def test_real_trace_deltas_roundtrip(self, dncnn_trace):
+        layer = dncnn_trace[3]
+        deltas = np.clip(spatial_deltas(layer.imap), -(1 << 15), (1 << 15) - 1)
+        flat = deltas.reshape(-1)[:4096]
+        codec = GroupCodec(signed=True)
+        encoded = codec.encode(flat)
+        assert np.array_equal(codec.decode(encoded), flat)
+        # Real deltas compress well below 16 bits/value.
+        assert encoded.bits / flat.size < 12
+
+
+class TestRLEZeroCodec:
+    @given(
+        st.lists(
+            st.one_of(st.just(0), st.integers(-32768, 32767)),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip(self, values):
+        codec = RLEZeroCodec()
+        arr = np.array(values)
+        encoded = codec.encode(arr)
+        assert np.array_equal(codec.decode(encoded), arr)
+
+    @given(
+        st.lists(
+            st.one_of(st.just(0), st.integers(-100, 100)),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=40)
+    def test_bits_match_accounting(self, values):
+        codec = RLEZeroCodec()
+        arr = np.array(values)
+        encoded = codec.encode(arr)
+        scheme_bits = RLEZero().encoded_bits(arr.reshape(1, 1, -1))
+        assert encoded.bits == scheme_bits
+
+    def test_long_zero_runs(self):
+        arr = np.array([0] * 100 + [7] + [0] * 33)
+        codec = RLEZeroCodec()
+        encoded = codec.encode(arr)
+        assert np.array_equal(codec.decode(encoded), arr)
+
+    def test_rejects_wide_values(self):
+        with pytest.raises(ValueError):
+            RLEZeroCodec().encode(np.array([1 << 16]))
+
+    def test_sparse_beats_dense(self):
+        codec = RLEZeroCodec()
+        sparse = codec.encode(np.array([0] * 60 + [5] * 4))
+        dense = codec.encode(np.arange(1, 65))
+        assert sparse.bits < dense.bits

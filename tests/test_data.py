@@ -1,0 +1,141 @@
+"""Tests for the synthetic image substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import TABLE2_DATASETS, dataset, list_datasets
+from repro.data.synthesis import PROFILES, ImageProfile, synthesize_image
+from repro.utils.rng import rng_for
+
+
+class TestSynthesizeImage:
+    def test_shape_and_range(self):
+        img = synthesize_image(rng_for(0, "img"), 64, 96, "nature")
+        assert img.shape == (3, 64, 96)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic(self):
+        a = synthesize_image(rng_for(1, "img"), 48, 48, "city")
+        b = synthesize_image(rng_for(1, "img"), 48, 48, "city")
+        assert np.array_equal(a, b)
+
+    def test_profiles_differ(self):
+        a = synthesize_image(rng_for(2, "img"), 48, 48, "nature")
+        b = synthesize_image(rng_for(2, "img"), 48, 48, "city")
+        assert not np.array_equal(a, b)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            synthesize_image(rng_for(0, "x"), 32, 32, "fractal")
+
+    def test_custom_profile(self):
+        prof = ImageProfile(noise_sigma=0.1)
+        img = synthesize_image(rng_for(3, "img"), 32, 32, prof)
+        assert img.shape == (3, 32, 32)
+
+    def test_channel_count(self):
+        img = synthesize_image(rng_for(4, "img"), 32, 32, "nature", channels=1)
+        assert img.shape == (1, 32, 32)
+
+    def test_spatial_correlation_present(self):
+        """Adjacent-pixel differences must be much smaller than the values
+        themselves — the property every Diffy result rests on."""
+        img = synthesize_image(rng_for(5, "img"), 1080, 1024, "nature")
+        dx = np.abs(np.diff(img, axis=-1)).mean()
+        spread = img.std()
+        assert dx < 0.25 * spread
+
+    def test_higher_resolution_is_smoother_per_pixel(self):
+        """The same scene at HD has more correlated adjacent pixels —
+        exactly why the paper's headline results target HD inputs."""
+
+        def ratio(h, w):
+            img = synthesize_image(rng_for(6, "res", h), h, w, "nature")
+            return np.abs(np.diff(img, axis=-1)).mean() / img.std()
+
+        assert ratio(1080, 960) < ratio(270, 240)
+
+    def test_noisy_profile_less_correlated(self):
+        clean = synthesize_image(rng_for(6, "img"), 128, 128, "nature")
+        noisy = synthesize_image(rng_for(6, "img"), 128, 128, "noisy")
+        dx_clean = np.abs(np.diff(clean, axis=-1)).mean()
+        dx_noisy = np.abs(np.diff(noisy, axis=-1)).mean()
+        assert dx_noisy > dx_clean
+
+    def test_all_named_profiles_work(self):
+        for name in PROFILES:
+            img = synthesize_image(rng_for(7, name), 32, 32, name)
+            assert img.shape == (3, 32, 32)
+
+
+class TestDatasets:
+    def test_table2_membership(self):
+        names = list_datasets()
+        assert names == [
+            "CBSD68", "McMaster", "Kodak24", "RNI15", "LIVE1", "Set5+Set14", "HD33",
+        ]
+        assert "barbara" in list_datasets(include_helpers=True)
+
+    def test_sample_counts_match_paper(self):
+        assert len(dataset("CBSD68")) == 68
+        assert len(dataset("McMaster")) == 18
+        assert len(dataset("Kodak24")) == 24
+        assert len(dataset("RNI15")) == 15
+        assert len(dataset("LIVE1")) == 29
+        assert len(dataset("Set5+Set14")) == 19
+        assert len(dataset("HD33")) == 33
+
+    def test_hd_resolution(self):
+        assert dataset("HD33").resolution(0) == (1080, 1920)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset("ImageNet")
+
+    def test_index_bounds(self):
+        with pytest.raises(IndexError):
+            dataset("Kodak24").image(24)
+
+    def test_image_deterministic_and_cached(self):
+        ds = dataset("Kodak24")
+        a = ds.image(0)
+        b = ds.image(0)
+        assert a is b  # cache hit
+        assert a.shape == (3, 500, 500)
+
+    def test_images_readonly(self):
+        with pytest.raises(ValueError):
+            dataset("Kodak24").image(1)[0, 0, 0] = 0.0
+
+    def test_crop_deterministic(self):
+        ds = dataset("Kodak24")
+        assert np.array_equal(ds.crop(0, 32), ds.crop(0, 32))
+
+    def test_crop_at_position(self):
+        ds = dataset("Kodak24")
+        crop = ds.crop(0, 16, at=(10, 20))
+        assert np.array_equal(crop, ds.image(0)[:, 10:26, 20:36])
+
+    def test_crop_bounds_checked(self):
+        ds = dataset("Kodak24")
+        with pytest.raises(ValueError, match="exceeds"):
+            ds.crop(0, 600)
+        with pytest.raises(ValueError, match="exceeds"):
+            ds.crop(0, 32, at=(490, 490))
+
+    def test_crops_cycle_images(self):
+        ds = dataset("RNI15")
+        crops = ds.crops(24, 3)
+        assert len(crops) == 3
+        assert all(c.shape == (3, 24, 24) for c in crops)
+
+    def test_seed_changes_pixels(self):
+        ds = dataset("McMaster")
+        a = ds.crop(0, 24, seed=1)
+        b = ds.crop(0, 24, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_resolution_variety_in_range_datasets(self):
+        ds = dataset("RNI15")
+        sizes = {ds.resolution(i) for i in range(len(ds))}
+        assert len(sizes) > 1

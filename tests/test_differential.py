@@ -1,0 +1,123 @@
+"""Differential convolution: bit-exact equality with direct convolution.
+
+This is the paper's central claim (Eq 4): differential convolution is a
+re-association of the same integer arithmetic, not an approximation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.differential import (
+    DifferentialConv2d,
+    differential_conv2d,
+    windows_and_deltas,
+)
+from repro.nn.functional import conv2d_int
+from repro.utils.rng import rng_for
+
+
+def _random_case(rng, c=4, h=12, w=13, k=3, filters=5):
+    x = rng.integers(-2000, 2000, (c, h, w))
+    wts = rng.integers(-500, 500, (filters, c, k, k))
+    return x, wts
+
+
+class TestExactness:
+    @pytest.mark.parametrize("axis", ["x", "y"])
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_matches_direct(self, axis, stride, padding):
+        rng = rng_for(0, "diff", axis, stride, padding)
+        x, w = _random_case(rng)
+        ref = conv2d_int(x, w, None, stride, padding)
+        got = differential_conv2d(x, w, None, stride, padding, 1, axis)
+        assert np.array_equal(ref, got)
+
+    @pytest.mark.parametrize("dilation", [1, 2, 3])
+    def test_matches_direct_dilated(self, dilation):
+        rng = rng_for(1, "dil", dilation)
+        x, w = _random_case(rng, h=16, w=16)
+        pad = dilation
+        ref = conv2d_int(x, w, None, 1, pad, dilation)
+        got = differential_conv2d(x, w, None, 1, pad, dilation)
+        assert np.array_equal(ref, got)
+
+    def test_with_bias(self):
+        rng = rng_for(2, "bias")
+        x, w = _random_case(rng)
+        bias = rng.integers(-1000, 1000, 5)
+        ref = conv2d_int(x, w, bias, 1, 1)
+        got = differential_conv2d(x, w, bias, 1, 1)
+        assert np.array_equal(ref, got)
+
+    def test_1x1_kernel(self):
+        rng = rng_for(3, "1x1")
+        x = rng.integers(-100, 100, (6, 8, 8))
+        w = rng.integers(-50, 50, (4, 6, 1, 1))
+        assert np.array_equal(conv2d_int(x, w), differential_conv2d(x, w))
+
+    def test_single_output_column(self):
+        rng = rng_for(4, "edge")
+        x = rng.integers(-50, 50, (2, 5, 3))
+        w = rng.integers(-9, 9, (1, 2, 3, 3))
+        assert np.array_equal(conv2d_int(x, w), differential_conv2d(x, w))
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30)
+    def test_random_property(self, seed):
+        rng = rng_for(seed, "prop")
+        c = int(rng.integers(1, 5))
+        k = int(rng.integers(1, 4))
+        h = int(rng.integers(k, k + 8))
+        w = int(rng.integers(k, k + 8))
+        x = rng.integers(-3000, 3000, (c, h, w))
+        wts = rng.integers(-300, 300, (2, c, k, k))
+        axis = "x" if seed % 2 else "y"
+        assert np.array_equal(
+            conv2d_int(x, wts), differential_conv2d(x, wts, axis=axis)
+        )
+
+
+class TestOperatorClass:
+    def test_callable_matches_function(self):
+        rng = rng_for(5, "op")
+        x, w = _random_case(rng)
+        op = DifferentialConv2d(w, stride=1, padding=1)
+        assert np.array_equal(op(x), differential_conv2d(x, w, None, 1, 1))
+
+    def test_work_summary_x(self):
+        rng = rng_for(6, "ws")
+        x, w = _random_case(rng, c=3, h=10, w=12)
+        op = DifferentialConv2d(w, padding=1)
+        summary = op.work_summary(x)
+        assert summary["total_windows"] == 10 * 12
+        assert summary["raw_windows"] == 10  # one per row
+        assert summary["differential_windows"] == 10 * 11
+        assert summary["reconstruction_adds"] == 10 * 11 * 5
+
+    def test_work_summary_y(self):
+        rng = rng_for(7, "wsy")
+        x, w = _random_case(rng, c=3, h=10, w=12)
+        op = DifferentialConv2d(w, padding=1, axis="y")
+        assert op.work_summary(x)["raw_windows"] == 12  # one per column
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            DifferentialConv2d(np.zeros((1, 1, 3, 3), dtype=np.int64), axis="diag")
+
+
+class TestWindowsAndDeltas:
+    def test_shapes_align(self):
+        rng = rng_for(8, "wd")
+        x = rng.integers(-10, 10, (2, 6, 7))
+        raw, deltas = windows_and_deltas(x, (3, 3), padding=1)
+        assert raw.shape == deltas.shape == (6, 7, 2, 3, 3)
+
+    def test_delta_windows_are_window_differences(self):
+        rng = rng_for(9, "wd2")
+        x = rng.integers(-10, 10, (2, 6, 8))
+        raw, deltas = windows_and_deltas(x, (3, 3), padding=0)
+        # For every x >= 1: delta window == raw[x] - raw[x-1] elementwise.
+        diff = raw[:, 1:] - raw[:, :-1]
+        assert np.array_equal(deltas[:, 1:], diff)

@@ -1,0 +1,234 @@
+"""Integration tests for the experiment modules.
+
+Each experiment runs with minimal workloads (one model, tiny traces) to
+verify the plumbing end to end: parameters flow, results have the right
+structure, and the formatted reports render.  The benchmark suite covers
+the full-shape assertions at realistic workloads.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    ext_temporal,
+    fig01_entropy,
+    fig02_heatmaps,
+    fig03_term_cdf,
+    fig04_potential,
+    fig05_footprint,
+    fig11_speedup,
+    fig12_utilization,
+    fig13_fps_hd,
+    fig14_traffic,
+    fig15_memnodes,
+    fig16_tiling,
+    fig17_lowres,
+    fig19_classification,
+    fig20_scnn,
+    run_all,
+    table1_models,
+    table3_precisions,
+    table4_configs,
+    table5_onchip,
+    table6_power,
+    table7_area,
+)
+
+ONE = ("IRCNN",)  # the smallest CI model: 7 layers
+
+
+class TestMotivationExperiments:
+    def test_fig01(self):
+        result = fig01_entropy.run(models=ONE, trace_count=1)
+        assert len(result.stats) == 1
+        assert "H(A)" in fig01_entropy.format_result(result)
+
+    def test_fig02(self):
+        result = fig02_heatmaps.run(model="IRCNN", layer_name="conv_2", crop=48)
+        assert result.layer == "conv_2"
+        assert "terms per delta" in fig02_heatmaps.format_result(result)
+
+    def test_fig02_save_heatmaps(self, tmp_path):
+        result = fig02_heatmaps.run(model="IRCNN", layer_name="conv_2", crop=48)
+        paths = fig02_heatmaps.save_heatmaps(result, str(tmp_path / "fig2"))
+        assert len(paths) == 3
+        import numpy as np
+
+        assert np.load(paths[0]).ndim == 2
+
+    def test_fig03(self):
+        result = fig03_term_cdf.run(models=ONE, trace_count=1)
+        assert result.stats.hist_raw.sum() > 0
+        assert "sparsity" in fig03_term_cdf.format_result(result)
+
+    def test_fig04(self):
+        result = fig04_potential.run(models=ONE, trace_count=1)
+        assert result.mean_delta > result.mean_raw > 1.0
+        fig04_potential.format_result(result)
+
+    def test_fig05(self):
+        result = fig05_footprint.run(models=ONE, trace_count=1)
+        assert result.ratios["IRCNN"]["NoCompression"] == pytest.approx(1.0)
+        fig05_footprint.format_result(result)
+
+
+class TestStructureTables:
+    def test_table1(self):
+        rows = table1_models.run(models=ONE)
+        assert rows[0].conv_layers == 7
+        table1_models.format_result(rows)
+
+    def test_table3(self):
+        rows = table3_precisions.run(models=ONE, trace_count=1)
+        assert len(rows[0].precisions) == 7
+        assert rows[0].max_precision <= 16
+        table3_precisions.format_result(rows)
+
+    def test_table4(self):
+        configs = table4_configs.run()
+        assert "Diffy" in configs
+        assert "1024" in table4_configs.format_result(configs)
+
+
+class TestPerformanceExperiments:
+    def test_fig11(self):
+        result = fig11_speedup.run(
+            models=ONE, trace_count=1, schemes=("DeltaD16", "Ideal")
+        )
+        row = result.rows[0]
+        assert row.diffy["DeltaD16"] > 1.0
+        assert "geomean" in fig11_speedup.format_result(result)
+
+    def test_fig12(self):
+        result = fig12_utilization.run(models=ONE, trace_count=1)
+        layers = result.networks["IRCNN"]
+        assert len(layers) == 7
+        fig12_utilization.format_result(result)
+
+    def test_fig13(self):
+        rows = fig13_fps_hd.run(models=ONE, trace_count=1)
+        assert rows[0].vaa_fps < rows[0].diffy_fps
+        fig13_fps_hd.format_result(rows)
+
+    def test_table5(self):
+        result = table5_onchip.run(models=ONE, trace_count=1)
+        assert result.am_bytes["DeltaD16"] < result.am_bytes["NoCompression"]
+        assert result.wm_bytes > 0
+        table5_onchip.format_result(result)
+
+    def test_fig14(self):
+        result = fig14_traffic.run(
+            models=ONE, trace_count=1, schemes=("NoCompression", "DeltaD16")
+        )
+        assert result.ratios["IRCNN"]["DeltaD16"] < 1.0
+        fig14_traffic.format_result(result)
+
+    def test_fig15(self):
+        result = fig15_memnodes.run(
+            models=ONE, nodes=("LPDDR3-1600", "HBM2"), trace_count=1
+        )
+        cells = result.grid["IRCNN"]
+        assert (
+            cells["HBM2"]["DeltaD16"].speedup_over_vaa
+            >= cells["LPDDR3-1600"]["DeltaD16"].speedup_over_vaa
+        )
+        fig15_memnodes.format_result(result)
+
+    def test_table6(self):
+        result = table6_power.run(models=ONE, trace_count=1)
+        assert result.efficiencies["Diffy"] > 1.0
+        table6_power.format_result(result)
+
+    def test_table7(self):
+        result = table7_area.run()
+        assert result.ratios["Diffy"] < result.ratios["PRA"]
+        table7_area.format_result(result)
+
+    def test_fig16(self):
+        result = fig16_tiling.run(models=ONE, terms=(1, 16), trace_count=1)
+        assert result.mean_speedup(1) > result.mean_speedup(16)
+        fig16_tiling.format_result(result)
+
+    def test_fig17(self):
+        result = fig17_lowres.run(
+            models=ONE, resolutions=((240, 320), (480, 512)), trace_count=1
+        )
+        fps = result.fps["IRCNN"]
+        assert fps[(240, 320)] > fps[(480, 512)]
+        fig17_lowres.format_result(result)
+
+    def test_fig19(self):
+        result = fig19_classification.run(models=("AlexNet",), trace_count=1)
+        assert result.rows[0].diffy_over_vaa > 1.0
+        fig19_classification.format_result(result)
+
+    def test_fig20(self):
+        result = fig20_scnn.run(models=ONE, sparsities=(0.0, 0.9), trace_count=1)
+        speeds = result.speedups["IRCNN"]
+        assert speeds[0.0] >= speeds[0.9]
+        fig20_scnn.format_result(result)
+
+
+class TestAblations:
+    def test_sync(self):
+        result = ablations.run_sync(models=ONE, trace_count=1)
+        assert result.diffy["row"] >= result.diffy["pallet"]
+        ablations.format_sync(result)
+
+    def test_axis(self):
+        result = ablations.run_axis(models=ONE, trace_count=1)
+        assert 0.5 < result.ratio("IRCNN") < 2.0
+        ablations.format_axis(result)
+
+    def test_group_size(self):
+        result = ablations.run_group_size(models=ONE, trace_count=1)
+        assert result.ratios["IRCNN"]["DeltaD16"] < 1.0
+        ablations.format_group_size(result)
+
+    def test_selective(self):
+        results = ablations.run_selective(models=ONE, trace_count=1)
+        assert results[0].selective_cycles <= results[0].diffy_cycles
+        ablations.format_selective(results)
+
+
+class TestTemporalExtension:
+    def test_run_one(self):
+        result = ext_temporal.run_one(model="IRCNN", pan_px=0, crop=48)
+        assert result.temporal_speedup > result.spatial_speedup
+        assert sum(result.mode_counts.values()) == 7
+
+    def test_sweep_and_format(self):
+        results = ext_temporal.run(model="IRCNN", pans=(0, 4), crop=48)
+        assert results[0].temporal_speedup > results[1].temporal_speedup
+        assert "frame buffer" in ext_temporal.format_result(results)
+
+
+class TestRunAll:
+    def test_registry_complete(self):
+        # Every paper table/figure id is present.
+        for key in (
+            "table1", "fig01", "fig02", "fig03", "fig04", "fig05",
+            "table3", "table4", "fig11", "fig12", "fig13", "table5",
+            "fig14", "fig15", "table6", "table7", "fig16", "fig17",
+            "fig18", "fig19", "fig20", "ablations", "ext_temporal",
+        ):
+            assert key in run_all.EXPERIMENTS
+
+    def test_filter_no_match(self, capsys):
+        run_all.main(["definitely-not-an-experiment"])
+        assert "no experiment matches" in capsys.readouterr().out
+
+    def test_filtered_run(self, capsys):
+        run_all.main(["table4"])
+        out = capsys.readouterr().out
+        assert "Table IV" in out and "done in" in out
+
+
+class TestPerLayerStatistic:
+    def test_per_layer_diffy_over_pra(self):
+        stats = fig11_speedup.per_layer_diffy_over_pra(models=ONE, trace_count=1)
+        # Paper IV-A: mean 1.42 +/- 0.32, no layer loses more than 10%.
+        assert 1.1 < stats["mean"] < 2.0
+        assert stats["std"] < 0.6
+        assert stats["min"] > 0.85
+        assert stats["fraction_slower"] < 0.25

@@ -1,0 +1,89 @@
+"""Cross-module integration tests: end-to-end consistency and determinism."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.arch.diffy import DiffyModel
+from repro.arch.pra import PRAModel
+from repro.arch.sim import collect_traces, simulate_network
+from repro.compression.footprint import imap_precisions, omap_precisions
+from repro.compression.traffic import network_traffic
+from repro.core.booth import booth_terms
+from repro.core.deltas import reconstruct_from_deltas, spatial_deltas
+from repro.models.registry import prepare_model
+
+SIM_KW = dict(dataset_name="Kodak24", trace_count=1, crop=32)
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        assert callable(repro.simulate_network)
+        assert callable(repro.differential_conv2d)
+        assert repro.__version__ == "1.0.0"
+        assert "DnCNN" in repro.list_models()
+
+    def test_end_to_end_one_liner(self):
+        result = repro.simulate_network("IRCNN", "Diffy", **SIM_KW)
+        assert result.fps > 0
+
+
+class TestDeterminism:
+    def test_simulation_is_seed_deterministic(self):
+        a = simulate_network("IRCNN", "Diffy", seed=123, **SIM_KW)
+        b = simulate_network("IRCNN", "Diffy", seed=123, **SIM_KW)
+        assert a.total_time_s == b.total_time_s
+        assert a.traffic_bytes == b.traffic_bytes
+
+    def test_different_seed_different_trace(self):
+        a = collect_traces("IRCNN", "Kodak24", 1, 32, seed=1)
+        b = collect_traces("IRCNN", "Kodak24", 1, 32, seed=2)
+        assert not np.array_equal(a[0][0].imap, b[0][0].imap)
+
+
+class TestCrossModuleConsistency:
+    def test_sim_traffic_matches_traffic_module(self):
+        """simulate_network's per-layer traffic is the traffic module's."""
+        res = simulate_network("IRCNN", "Diffy", scheme="DeltaD16", **SIM_KW)
+        net = prepare_model("IRCNN")
+        traces = collect_traces("IRCNN", "Kodak24", 1, 32)
+        precs = imap_precisions(traces)
+        oprecs = omap_precisions(traces)
+        expected = network_traffic(net, traces, "DeltaD16", 1080, 1920, precs, oprecs)
+        for layer, exp in zip(res.layers, expected):
+            assert layer.traffic.total_bytes == pytest.approx(exp.total_bytes)
+
+    def test_trace_deltas_reconstruct_exactly(self):
+        """The storage transform round-trips on every traced layer."""
+        traces = collect_traces("IRCNN", "Kodak24", 1, 32)
+        for layer in traces[0]:
+            deltas = spatial_deltas(layer.imap)
+            assert np.array_equal(reconstruct_from_deltas(deltas), layer.imap)
+
+    def test_diffy_total_terms_below_pra(self):
+        """Diffy's accounting processes fewer effectual terms than PRA's
+        (the raw head windows are a vanishing fraction)."""
+        traces = collect_traces("IRCNN", "HD33", 1, 64)
+        pra_model, diffy_model = PRAModel(), DiffyModel()
+        pra_terms = sum(pra_model.layer_cycles(l).useful_terms for l in traces[0])
+        diffy_terms = sum(diffy_model.layer_cycles(l).useful_terms for l in traces[0])
+        assert diffy_terms < pra_terms
+
+    def test_trace_scale_chain_consistent(self):
+        """Layer i's omap scale equals layer i+1's imap scale for
+        contiguous conv layers (the AM stores one representation)."""
+        traces = collect_traces("DnCNN", "Kodak24", 1, 32)
+        layers = list(traces[0])
+        for prev, cur in zip(layers, layers[1:]):
+            assert prev.omap_scale == cur.imap_scale
+
+    def test_global_format_shares_scale(self):
+        """The global 16b format: every conv output uses one scale."""
+        traces = collect_traces("DnCNN", "Kodak24", 1, 32)
+        scales = {layer.omap_scale for layer in traces[0]}
+        assert len(scales) == 1
+
+    def test_terms_bounded_by_radix4_digits(self):
+        traces = collect_traces("IRCNN", "Kodak24", 1, 32)
+        for layer in traces[0]:
+            assert booth_terms(layer.imap).max() <= 8

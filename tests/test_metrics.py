@@ -1,0 +1,56 @@
+"""Tests for the derived-metric and design-space search helpers."""
+
+import pytest
+
+from repro.arch.metrics import (
+    max_realtime_megapixels,
+    minimum_tiles_for_fps,
+    utilization_report,
+)
+from repro.arch.sim import simulate_network
+
+SIM_KW = dict(dataset_name="Kodak24", trace_count=1, crop=32)
+
+
+class TestUtilizationReport:
+    def test_rows_partition(self):
+        res = simulate_network("IRCNN", "Diffy", **SIM_KW)
+        rows = utilization_report(res)
+        assert len(rows) == 7
+        for row in rows:
+            assert row.useful + row.idle + row.stall == pytest.approx(1.0)
+        assert sum(r.time_share for r in rows) == pytest.approx(1.0)
+
+
+class TestMinimumTilesForFps:
+    def test_low_target_needs_base_config(self):
+        choice = minimum_tiles_for_fps("IRCNN", target_fps=1.0, trace_count=1)
+        assert choice is not None
+        assert choice.tiles == 4
+
+    def test_higher_target_needs_more_tiles(self):
+        low = minimum_tiles_for_fps("IRCNN", target_fps=5.0, trace_count=1)
+        high = minimum_tiles_for_fps("IRCNN", target_fps=30.0, trace_count=1)
+        assert low is not None and high is not None
+        assert high.tiles >= low.tiles
+        assert high.fps >= 30.0
+
+    def test_unreachable_returns_none(self):
+        choice = minimum_tiles_for_fps(
+            "DnCNN", target_fps=1e6, tile_sweep=(4,), trace_count=1
+        )
+        assert choice is None
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            minimum_tiles_for_fps("IRCNN", target_fps=0.0)
+
+
+class TestMaxRealtimeMegapixels:
+    def test_monotone_in_target(self):
+        easy = max_realtime_megapixels("IRCNN", target_fps=10.0, tolerance_px=128)
+        hard = max_realtime_megapixels("IRCNN", target_fps=60.0, tolerance_px=128)
+        assert easy >= hard > 0.0
+
+    def test_impossible_target(self):
+        assert max_realtime_megapixels("DnCNN", target_fps=1e6) == 0.0

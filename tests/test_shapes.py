@@ -1,0 +1,57 @@
+"""Tests for resolution scaling (conv_layer_shapes)."""
+
+import pytest
+
+from repro.models.registry import prepare_model
+from repro.nn.shapes import conv_layer_shapes
+
+
+class TestConvLayerShapes:
+    def test_dncnn_hd(self):
+        net = prepare_model("DnCNN")
+        shapes = conv_layer_shapes(net, 1080, 1920)
+        assert len(shapes) == 20
+        assert shapes[0].imap_shape == (3, 1080, 1920)
+        assert shapes[0].omap_shape == (64, 1080, 1920)
+        assert shapes[-1].omap_shape == (3, 1080, 1920)
+
+    def test_ffdnet_half_resolution_trunk(self):
+        net = prepare_model("FFDNet")
+        shapes = conv_layer_shapes(net, 1080, 1920)
+        # The trunk runs at half resolution on 15 channels.
+        assert shapes[0].imap_shape == (15, 540, 960)
+        assert shapes[-1].omap_shape == (12, 540, 960)
+
+    def test_jointnet_mixed_resolutions(self):
+        net = prepare_model("JointNet")
+        shapes = conv_layer_shapes(net, 1080, 1920)
+        assert shapes[0].imap_shape == (4, 540, 960)  # packed Bayer
+        # The last three layers run at full resolution.
+        assert shapes[-1].imap_shape[1:] == (1080, 1920)
+
+    def test_windows_and_macs(self):
+        net = prepare_model("IRCNN")
+        shapes = conv_layer_shapes(net, 256, 256)
+        layer = shapes[1]  # 64 -> 64 3x3 dilated
+        assert layer.windows == 256 * 256
+        assert layer.macs == 256 * 256 * 64 * 64 * 9
+        assert layer.weight_bytes == 64 * 64 * 9 * 2
+
+    def test_values_scale_quadratically(self):
+        net = prepare_model("DnCNN")
+        big = conv_layer_shapes(net, 512, 512)
+        small = conv_layer_shapes(net, 256, 256)
+        for b, s in zip(big, small):
+            assert b.imap_values == 4 * s.imap_values
+
+    def test_dilation_recorded(self):
+        net = prepare_model("IRCNN")
+        shapes = conv_layer_shapes(net, 128, 128)
+        assert [s.dilation for s in shapes] == [1, 2, 3, 4, 3, 2, 1]
+
+    def test_classification_downsampling(self):
+        net = prepare_model("AlexNet")
+        shapes = conv_layer_shapes(net, 224, 224)
+        # conv1 stride 4 then pooling shrink the maps monotonically.
+        areas = [s.omap_shape[1] * s.omap_shape[2] for s in shapes]
+        assert areas[0] > areas[-1]

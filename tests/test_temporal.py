@@ -1,0 +1,105 @@
+"""Tests for the temporal-differential extension (core.temporal, data.video)."""
+
+import numpy as np
+import pytest
+
+from repro.core.temporal import FrameSequenceTrace, temporal_deltas
+from repro.data.video import synthesize_clip
+from repro.models.registry import prepare_model
+
+
+class TestTemporalDeltas:
+    def test_basic_difference(self):
+        cur = np.array([[5, 7]])
+        prev = np.array([[3, 10]])
+        assert np.array_equal(temporal_deltas(cur, prev), [[2, -3]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            temporal_deltas(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_saturates_to_word(self):
+        cur = np.array([32767])
+        prev = np.array([-32768])
+        assert temporal_deltas(cur, prev)[0] == 32767
+
+    def test_identical_frames_are_free(self):
+        frame = np.arange(100).reshape(10, 10)
+        assert np.all(temporal_deltas(frame, frame) == 0)
+
+
+class TestSynthesizeClip:
+    def test_clip_shape_and_determinism(self):
+        a = synthesize_clip(3, 32, 40, pan_px=2, seed=7)
+        b = synthesize_clip(3, 32, 40, pan_px=2, seed=7)
+        assert len(a) == 3
+        assert all(f.shape == (3, 32, 40) for f in a)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa, fb)
+
+    def test_static_clip_changes_only_by_noise(self):
+        clip = synthesize_clip(2, 32, 32, pan_px=0, noise_sigma=0.001, seed=1)
+        diff = np.abs(clip[1] - clip[0]).mean()
+        assert diff < 0.005
+
+    def test_pan_shifts_content(self):
+        clip = synthesize_clip(2, 32, 48, pan_px=3, noise_sigma=0.0, seed=2)
+        # Frame 1 shifted left by 3 equals frame 0's right part.
+        assert np.allclose(clip[1][:, :, :-3], clip[0][:, :, 3:], atol=1e-12)
+
+    def test_more_motion_more_change(self):
+        slow = synthesize_clip(2, 32, 48, pan_px=1, noise_sigma=0.0, seed=3)
+        fast = synthesize_clip(2, 32, 48, pan_px=6, noise_sigma=0.0, seed=3)
+        assert (
+            np.abs(fast[1] - fast[0]).mean() > np.abs(slow[1] - slow[0]).mean()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_clip(0, 32, 32)
+        with pytest.raises(ValueError):
+            synthesize_clip(2, 32, 32, pan_px=-1)
+
+
+class TestFrameSequenceTrace:
+    @pytest.fixture(scope="class")
+    def seq(self):
+        net = prepare_model("IRCNN")
+        clip = synthesize_clip(2, 48, 48, pan_px=1, seed=11)
+        return FrameSequenceTrace(tuple(net.trace(f) for f in clip))
+
+    def test_needs_two_frames(self):
+        net = prepare_model("IRCNN")
+        clip = synthesize_clip(2, 48, 48, seed=12)
+        with pytest.raises(ValueError, match="at least two"):
+            FrameSequenceTrace((net.trace(clip[0]),))
+
+    def test_mode_stats_structure(self, seq):
+        stats = seq.layer_mode_stats()
+        assert len(stats) == 7
+        for s in stats:
+            assert s.raw_terms >= 0
+            assert s.best_mode in ("raw", "spatial", "temporal")
+            assert s.combined_terms <= s.raw_terms + 1e-12
+            assert s.combined_terms == min(
+                s.raw_terms, s.spatial_terms, s.temporal_terms
+            )
+
+    def test_frame_index_validated(self, seq):
+        with pytest.raises(ValueError):
+            seq.layer_mode_stats(frame=0)
+        with pytest.raises(ValueError):
+            seq.layer_mode_stats(frame=2)
+
+    def test_frame_buffer_accounting(self, seq):
+        # One int16 per imap value.
+        expected = sum(layer.imap.size * 2 for layer in seq.traces[0])
+        assert seq.frame_buffer_bytes() == expected
+
+    def test_static_scene_prefers_temporal(self):
+        net = prepare_model("IRCNN")
+        clip = synthesize_clip(2, 48, 48, pan_px=0, noise_sigma=0.0, seed=13)
+        seq = FrameSequenceTrace(tuple(net.trace(f) for f in clip))
+        stats = seq.layer_mode_stats()
+        # Identical frames: temporal deltas are all zero.
+        assert all(s.temporal_terms == 0.0 for s in stats)
