@@ -145,6 +145,52 @@ def _window_slice(
     ]
 
 
+def _brick_tap_view(
+    arr: np.ndarray,
+    kernel: int,
+    stride: int,
+    dilation: int,
+    out_h: int,
+    out_w: int,
+    brick: int,
+) -> np.ndarray:
+    """Zero-copy (bricks, brick, fy, fx, out_h, out_w) view of ``arr``.
+
+    ``arr`` is a (bricks * brick, Hp, Wp) term map; element
+    ``[cb, l, fy, fx, oy, ox]`` of the view is the term count the lane
+    ``l`` of channel-brick ``cb`` streams for weight tap (fy, fx) of the
+    output window (oy, ox) — i.e. every operand of the triple loop the
+    reference implementations walk, expressed as strides so the
+    reductions below run in C.
+    """
+    c, hp, wp = arr.shape
+    bricks = c // brick
+    need_h = (kernel - 1) * dilation + (out_h - 1) * stride + 1
+    need_w = (kernel - 1) * dilation + (out_w - 1) * stride + 1
+    if need_h > hp or need_w > wp:
+        raise ValueError(
+            f"term map of spatial shape {(hp, wp)} too small for "
+            f"kernel={kernel}, stride={stride}, dilation={dilation}, "
+            f"out={(out_h, out_w)} (needs {(need_h, need_w)})"
+        )
+    sc, sh, sw = arr.strides
+    return np.lib.stride_tricks.as_strided(
+        arr,
+        shape=(bricks, brick, kernel, kernel, out_h, out_w),
+        strides=(sc * brick, sc, sh * dilation, sw * dilation, sh * stride, sw * stride),
+        writeable=False,
+    )
+
+
+def _pad_to_bricks(term_map: np.ndarray, brick: int) -> np.ndarray:
+    """Channel-pad to a brick multiple.  Zero lanes are inert: term counts
+    are nonnegative, so padding changes neither maxima nor sums."""
+    pad = (-term_map.shape[0]) % brick
+    if pad:
+        return np.pad(term_map, ((0, pad), (0, 0), (0, 0)))
+    return term_map
+
+
 def step_term_maxima(
     term_map: np.ndarray,
     kernel: int,
@@ -161,20 +207,29 @@ def step_term_maxima(
     weight position; returns ``M`` of shape (steps, out_h, out_w) plus the
     total effectual terms across all lanes and windows.
     """
-    c = term_map.shape[0]
-    bricks = math.ceil(c / brick)
-    steps = bricks * kernel * kernel
-    maxima = np.empty((steps, out_h, out_w), dtype=np.int64)
-    total_terms = 0
-    s = 0
-    for cb in range(bricks):
-        sub = term_map[cb * brick : (cb + 1) * brick]
-        for fy in range(kernel):
-            for fx in range(kernel):
-                sl = _window_slice(sub, fy, fx, stride, dilation, out_h, out_w)
-                maxima[s] = sl.max(axis=0)
-                total_terms += int(sl.sum())
-                s += 1
+    arr = _pad_to_bricks(np.ascontiguousarray(term_map), brick)
+    hp, wp = arr.shape[1:]
+    # Lane-max commutes with spatial slicing, so reduce the lane axis ONCE
+    # over the whole padded map — O(C·Hp·Wp) — and let each of the
+    # bricks*k*k steps become a pure strided gather of the per-position
+    # maxima instead of its own O(brick·out_h·out_w) reduction.
+    per_pos_max = arr.reshape(-1, brick, hp, wp).max(axis=1)
+    gathered = _brick_tap_view(
+        per_pos_max, kernel, stride, dilation, out_h, out_w, brick=1
+    )
+    # (bricks, 1, fy, fx, oh, ow) -> C-order copy matches the reference
+    # step ordering s = (cb*kernel + fy)*kernel + fx.
+    maxima = np.ascontiguousarray(gathered, dtype=np.int64).reshape(
+        -1, out_h, out_w
+    )
+    # Every tap revisits the same channel-summed plane shifted, so the
+    # grand total is k*k strided slice-sums of one O(Hp·Wp) plane rather
+    # than a sum over the full C·k·k-redundant window view.
+    plane = arr.sum(axis=0, dtype=np.int64)[None]
+    total_terms = int(
+        _brick_tap_view(plane, kernel, stride, dilation, out_h, out_w, brick=1)
+        .sum(dtype=np.int64)
+    )
     return maxima, total_terms
 
 
@@ -194,6 +249,56 @@ def lane_term_totals(
     is the sum of all those term counts.  Returns ``totals`` of shape
     (brick, out_h, out_w) and the grand total.
     """
+    arr = _pad_to_bricks(np.ascontiguousarray(term_map), brick)
+    folded = arr.reshape(-1, brick, arr.shape[1], arr.shape[2]).sum(
+        axis=0, dtype=np.int64
+    )
+    view = _brick_tap_view(folded, kernel, stride, dilation, out_h, out_w, brick)
+    totals = view.sum(axis=(2, 3), dtype=np.int64)[0]
+    return totals, int(totals.sum())
+
+
+def _step_term_maxima_loops(
+    term_map: np.ndarray,
+    kernel: int,
+    stride: int,
+    dilation: int,
+    out_h: int,
+    out_w: int,
+    brick: int,
+) -> tuple[np.ndarray, int]:
+    """Reference loop implementation of :func:`step_term_maxima`.
+
+    Kept (with :func:`_lane_term_totals_loops`) as the executable spec the
+    vectorized kernels are property-tested against.
+    """
+    c = term_map.shape[0]
+    bricks = math.ceil(c / brick)
+    steps = bricks * kernel * kernel
+    maxima = np.empty((steps, out_h, out_w), dtype=np.int64)
+    total_terms = 0
+    s = 0
+    for cb in range(bricks):
+        sub = term_map[cb * brick : (cb + 1) * brick]
+        for fy in range(kernel):
+            for fx in range(kernel):
+                sl = _window_slice(sub, fy, fx, stride, dilation, out_h, out_w)
+                maxima[s] = sl.max(axis=0)
+                total_terms += int(sl.sum())
+                s += 1
+    return maxima, total_terms
+
+
+def _lane_term_totals_loops(
+    term_map: np.ndarray,
+    kernel: int,
+    stride: int,
+    dilation: int,
+    out_h: int,
+    out_w: int,
+    brick: int,
+) -> tuple[np.ndarray, int]:
+    """Reference loop implementation of :func:`lane_term_totals`."""
     c = term_map.shape[0]
     bricks = math.ceil(c / brick)
     pad = bricks * brick - c

@@ -23,8 +23,7 @@ import numpy as np
 
 from repro.arch.config import AcceleratorConfig, DIFFY_CONFIG
 from repro.arch.cycles import LayerCycles, serial_layer_cycles
-from repro.core.booth import WORD_BITS, booth_terms
-from repro.core.deltas import spatial_deltas
+from repro.arch.term_maps import delta_term_map, raw_term_map
 from repro.nn.trace import ConvLayerTrace
 
 
@@ -40,18 +39,12 @@ class DiffyModel:
         self.axis = axis
 
     def term_map(self, layer: ConvLayerTrace) -> np.ndarray:
-        """Term counts of the delta imap, raw in the head chain positions.
+        """Term counts of the delta imap (16-bit saturated; memoized).
 
-        Deltas of adjacent 16-bit values can transiently need 17 bits; the
-        hardware's delta datapath is one bit wider internally, but the
-        Booth recoder works on 16-bit storage words, so we saturate —
-        post-ReLU maps never hit this in practice.
+        See :func:`repro.arch.term_maps.delta_term_map` for the saturation
+        note and the memoization shared with repeated evaluations.
         """
-        padded = layer.padded_imap()
-        deltas = spatial_deltas(padded, axis=self.axis, stride=layer.stride)
-        lo, hi = -(1 << (WORD_BITS - 1)), (1 << (WORD_BITS - 1)) - 1
-        terms = booth_terms(np.clip(deltas, lo, hi))
-        return terms
+        return delta_term_map(layer, axis=self.axis)
 
     def layer_cycles(self, layer: ConvLayerTrace) -> LayerCycles:
         """Cycle accounting with the raw-first-window-of-row dataflow.
@@ -65,7 +58,7 @@ class DiffyModel:
             layer,
             self.term_map(layer),
             self.config,
-            head_term_map=booth_terms(layer.padded_imap()),
+            head_term_map=raw_term_map(layer),
             axis=self.axis,
         )
 

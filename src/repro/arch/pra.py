@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.arch.config import AcceleratorConfig, PRA_CONFIG
 from repro.arch.cycles import LayerCycles, serial_layer_cycles
-from repro.core.booth import booth_terms
+from repro.arch.term_maps import raw_term_map
 from repro.nn.trace import ConvLayerTrace
 
 
@@ -28,8 +28,12 @@ class PRAModel:
         self.config = config
 
     def term_map(self, layer: ConvLayerTrace) -> np.ndarray:
-        """Per-activation effectual-term counts of the padded raw imap."""
-        return booth_terms(layer.padded_imap())
+        """Per-activation effectual-term counts of the padded raw imap.
+
+        Memoized per layer and shared with Diffy's head-window accounting
+        (see :mod:`repro.arch.term_maps`).
+        """
+        return raw_term_map(layer)
 
     def layer_cycles(self, layer: ConvLayerTrace) -> LayerCycles:
         return serial_layer_cycles(layer, self.term_map(layer), self.config)

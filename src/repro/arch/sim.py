@@ -36,6 +36,7 @@ from repro.arch.memory import MemorySystem, memory_system
 from repro.arch.pra import PRAModel
 from repro.arch.scnn import SCNNModel
 from repro.arch.vaa import VAAModel
+from repro.cache import store as cache_store
 from repro.compression.footprint import imap_precisions, omap_precisions
 from repro.compression.traffic import LayerTraffic, network_traffic
 from repro.data.datasets import dataset
@@ -43,6 +44,7 @@ from repro.models.inputs import adapt_input
 from repro.models.registry import get_model_spec, prepare_model
 from repro.nn.shapes import conv_layer_shapes
 from repro.nn.trace import ActivationTrace
+from repro.utils import timing
 from repro.utils.rng import DEFAULT_SEED
 
 #: Default off-chip memory interface of the headline results (Section IV-A).
@@ -143,7 +145,6 @@ class NetworkResult:
         return other.total_time_s / self.total_time_s
 
 
-@lru_cache(maxsize=64)
 def collect_traces(
     model_name: str,
     dataset_name: str = "HD33",
@@ -151,16 +152,43 @@ def collect_traces(
     crop: Optional[int] = None,
     seed: int = DEFAULT_SEED,
 ) -> tuple[ActivationTrace, ...]:
-    """Seeded activation traces for a model over dataset crops (cached)."""
+    """Seeded activation traces for a model over dataset crops (cached).
+
+    ``crop=None`` resolves to the model's default ``trace_crop`` *before*
+    any cache lookup, so an explicit ``crop == spec.trace_crop`` and the
+    default address the same entry (in memory and on disk).
+    """
+    spec = get_model_spec(model_name)
+    size = crop if crop is not None else spec.trace_crop
+    return _collect_traces(model_name, dataset_name, count, size, seed)
+
+
+@lru_cache(maxsize=64)
+def _collect_traces(
+    model_name: str, dataset_name: str, count: int, size: int, seed: int
+) -> tuple[ActivationTrace, ...]:
+    return cache_store.fetch_or_compute(
+        "traces",
+        (model_name, dataset_name, count, size, seed),
+        lambda: _trace_crops(model_name, dataset_name, count, size, seed),
+    )
+
+
+def _trace_crops(
+    model_name: str, dataset_name: str, count: int, size: int, seed: int
+) -> tuple[ActivationTrace, ...]:
     spec = get_model_spec(model_name)
     net = prepare_model(model_name, seed)
-    size = crop if crop is not None else spec.trace_crop
     ds = dataset(dataset_name)
     traces = []
-    for i in range(count):
-        image = ds.crop(i % len(ds), size, seed=seed)
-        traces.append(net.trace(adapt_input(spec.input_adapter, image)))
+    with timing.timed("sim.trace_crops"):
+        for i in range(count):
+            image = ds.crop(i % len(ds), size, seed=seed)
+            traces.append(net.trace(adapt_input(spec.input_adapter, image)))
     return tuple(traces)
+
+
+cache_store.register_memory_cache(_collect_traces.cache_clear)
 
 
 def model_for(
@@ -228,13 +256,25 @@ def simulate_network(
     ``memory`` may be a technology name (``"DDR4-3200"``, ``"Ideal"``, ...)
     or a prebuilt :class:`MemorySystem`.
     """
+    with timing.timed("sim.simulate_network"):
+        return _simulate_network(
+            model_name, accelerator, scheme, memory, channels, resolution,
+            config, dataset_name, trace_count, crop, seed,
+        )
+
+
+def _simulate_network(
+    model_name, accelerator, scheme, memory, channels, resolution,
+    config, dataset_name, trace_count, crop, seed,
+) -> NetworkResult:
     mem = memory if isinstance(memory, MemorySystem) else memory_system(memory, channels)
     traces = collect_traces(model_name, dataset_name, trace_count, crop, seed)
     net = prepare_model(model_name, seed)
     model = model_for(accelerator, config)
     cfg_freq = getattr(model.config, "frequency_ghz", 1.0)
 
-    cycle_records = _mean_layer_cycles(model, traces)
+    with timing.timed("sim.layer_cycles"):
+        cycle_records = _mean_layer_cycles(model, traces)
     shapes = conv_layer_shapes(net, *resolution)
     precisions = imap_precisions(traces)
     omap_precs = omap_precisions(traces)

@@ -1,0 +1,95 @@
+"""Memoized Booth term maps shared by the term-serial cycle models.
+
+PRA streams the *raw* imap's effectual terms; Diffy streams the *delta*
+imap's — but Diffy's raw-first-window-of-row dataflow also needs the raw
+term map for the head windows, and :func:`repro.arch.sim.simulate_network`
+evaluates the same traces once per (accelerator, scheme) combination.
+Without memoization each evaluation re-pads the multi-megabyte imap and
+re-indexes the 65536-entry term LUT over it; with it, each distinct
+``(layer, kind, encoding)`` term map is computed exactly once per trace
+lifetime.
+
+Memos are keyed by layer *identity* (``id``) and evicted by a weakref
+finalizer when the trace layer is garbage collected, so memoization never
+extends an array's lifetime and never leaks across unrelated layers that
+happen to compare equal.  Returned arrays are marked read-only — callers
+share them.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.cache import store as cache_store
+from repro.core.booth import DEFAULT_ENCODING, WORD_BITS, booth_terms
+from repro.core.deltas import spatial_deltas
+from repro.nn.trace import ConvLayerTrace
+
+__all__ = ["padded_imap", "raw_term_map", "delta_term_map", "clear_term_maps"]
+
+#: id(layer) -> {memo key: array}; entries die with their layer.
+_MEMOS: dict[int, dict[tuple, np.ndarray]] = {}
+
+
+def _memo_for(layer: ConvLayerTrace) -> dict[tuple, np.ndarray]:
+    key = id(layer)
+    memo = _MEMOS.get(key)
+    if memo is None:
+        memo = _MEMOS[key] = {}
+        weakref.finalize(layer, _MEMOS.pop, key, None)
+    return memo
+
+
+def _memoized(layer: ConvLayerTrace, key: tuple, compute) -> np.ndarray:
+    memo = _memo_for(layer)
+    value = memo.get(key)
+    if value is None:
+        value = compute()
+        value.setflags(write=False)
+        memo[key] = value
+    return value
+
+
+def padded_imap(layer: ConvLayerTrace) -> np.ndarray:
+    """The layer's zero-padded imap (memoized, read-only)."""
+    return _memoized(layer, ("padded",), layer.padded_imap)
+
+
+def raw_term_map(
+    layer: ConvLayerTrace, encoding: str = DEFAULT_ENCODING
+) -> np.ndarray:
+    """Per-activation effectual-term counts of the padded raw imap."""
+    return _memoized(
+        layer,
+        ("raw", encoding),
+        lambda: booth_terms(padded_imap(layer), encoding),
+    )
+
+
+def delta_term_map(
+    layer: ConvLayerTrace, axis: str = "x", encoding: str = DEFAULT_ENCODING
+) -> np.ndarray:
+    """Term counts of the spatial-delta imap (Diffy's stream).
+
+    Deltas of adjacent 16-bit values can transiently need 17 bits; the
+    hardware's delta datapath is one bit wider internally, but the Booth
+    recoder works on 16-bit storage words, so values saturate — post-ReLU
+    maps never hit this in practice.
+    """
+
+    def compute() -> np.ndarray:
+        deltas = spatial_deltas(padded_imap(layer), axis=axis, stride=layer.stride)
+        lo, hi = -(1 << (WORD_BITS - 1)), (1 << (WORD_BITS - 1)) - 1
+        return booth_terms(np.clip(deltas, lo, hi), encoding)
+
+    return _memoized(layer, ("delta", axis, encoding), compute)
+
+
+def clear_term_maps() -> None:
+    """Drop every memoized term map (the arrays, not the traces)."""
+    _MEMOS.clear()
+
+
+cache_store.register_memory_cache(clear_term_maps)

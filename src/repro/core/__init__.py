@@ -12,7 +12,13 @@
   accelerator models.
 """
 
-from repro.core.booth import booth_terms, booth_digits, term_count_lut
+from repro.core.booth import (
+    booth_terms,
+    booth_digits,  # deprecated alias of naf_digits; see repro.core.booth
+    naf_digits,
+    r4_booth_digits,
+    term_count_lut,
+)
 from repro.core.deltas import spatial_deltas, reconstruct_from_deltas
 from repro.core.differential import differential_conv2d, DifferentialConv2d
 from repro.core.precision import (
@@ -37,6 +43,8 @@ from repro.core.dataflow import (
 __all__ = [
     "booth_terms",
     "booth_digits",
+    "naf_digits",
+    "r4_booth_digits",
     "term_count_lut",
     "spatial_deltas",
     "reconstruct_from_deltas",

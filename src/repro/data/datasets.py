@@ -17,7 +17,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.cache import store as cache_store
 from repro.data.synthesis import synthesize_image
+from repro.utils import timing
 from repro.utils.rng import DEFAULT_SEED, rng_for
 
 
@@ -100,13 +102,23 @@ class Dataset:
 
 @lru_cache(maxsize=12)
 def _cached_image(name: str, index: int, seed: int) -> np.ndarray:
+    img = cache_store.fetch_or_compute(
+        "images", (name, index, seed), lambda: _synthesize(name, index, seed)
+    )
+    img.setflags(write=False)
+    return img
+
+
+def _synthesize(name: str, index: int, seed: int) -> np.ndarray:
     ds = dataset(name)
     h, w = ds.resolution(index)
     profile = ds.profiles[index % len(ds.profiles)]
     rng = rng_for(seed, "image", name, index)
-    img = synthesize_image(rng, h, w, profile)
-    img.setflags(write=False)
-    return img
+    with timing.timed("data.synthesize_image"):
+        return synthesize_image(rng, h, w, profile)
+
+
+cache_store.register_memory_cache(_cached_image.cache_clear)
 
 
 #: Table II of the paper, with resolution ranges sampled at representative

@@ -1,0 +1,284 @@
+"""Parallel (model × accelerator × scheme × memory) simulation sweeps.
+
+The figure experiments each walk a slice of the same configuration grid;
+this module is the general-purpose runner: it expands a full cartesian
+grid, fans the points across a :class:`~concurrent.futures.ProcessPoolExecutor`,
+and returns one :class:`SweepRow` per point.  The :mod:`repro.cache` disk
+store is the cross-process share point — a *warm phase* first computes
+each distinct model's traces (one task per model, the expensive part),
+so the grid fan-out that follows hits the disk cache instead of
+re-tracing per worker.
+
+Serial execution (``max_workers=0``) runs everything in-process — the
+right choice inside tests, sandboxes without ``fork``, or when the cache
+is already warm and the grid is small.  If the pool cannot be created or
+dies, the runner degrades to serial rather than failing the sweep.
+
+CLI::
+
+    python -m repro.experiments.sweep --models DnCNN FFDNet \
+        --accelerators VAA PRA Diffy --schemes DeltaD16 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.arch.sim import (
+    DEFAULT_MEMORY,
+    DEFAULT_SCHEME,
+    HD_RESOLUTION,
+    NetworkResult,
+    collect_traces,
+    simulate_network,
+)
+from repro.experiments.common import CI_MODEL_NAMES, format_table, geomean
+from repro.utils import timing
+from repro.utils.rng import DEFAULT_SEED
+
+__all__ = ["SweepPoint", "SweepRow", "SweepResult", "sweep_grid", "run_sweep"]
+
+#: Accelerators of the headline comparison (Fig 11/13 order).
+DEFAULT_ACCELERATORS = ("VAA", "PRA", "Diffy")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (model, accelerator, scheme, memory) grid coordinate."""
+
+    model: str
+    accelerator: str
+    scheme: str
+    memory: str
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """A grid point plus its simulated :class:`NetworkResult`."""
+
+    point: SweepPoint
+    result: NetworkResult
+
+    @property
+    def fps(self) -> float:
+        return self.result.fps
+
+    @property
+    def total_time_s(self) -> float:
+        return self.result.total_time_s
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All rows of one sweep, with grid-level convenience queries."""
+
+    rows: tuple[SweepRow, ...]
+    resolution: tuple[int, int]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def select(
+        self,
+        model: Optional[str] = None,
+        accelerator: Optional[str] = None,
+        scheme: Optional[str] = None,
+        memory: Optional[str] = None,
+    ) -> list[SweepRow]:
+        """Rows matching every given coordinate."""
+        return [
+            r
+            for r in self.rows
+            if (model is None or r.point.model == model)
+            and (accelerator is None or r.point.accelerator == accelerator)
+            and (scheme is None or r.point.scheme == scheme)
+            and (memory is None or r.point.memory == memory)
+        ]
+
+    def speedups_over(self, baseline_accelerator: str = "VAA") -> dict[SweepPoint, float]:
+        """Per-point speedup over the baseline accelerator's matching point.
+
+        Points whose (model, scheme, memory) has no baseline row are
+        skipped (e.g. a sweep that never ran the baseline).
+        """
+        base = {
+            (r.point.model, r.point.scheme, r.point.memory): r.result
+            for r in self.rows
+            if r.point.accelerator == baseline_accelerator
+        }
+        out = {}
+        for row in self.rows:
+            if row.point.accelerator == baseline_accelerator:
+                continue
+            ref = base.get((row.point.model, row.point.scheme, row.point.memory))
+            if ref is not None:
+                out[row.point] = row.result.speedup_over(ref)
+        return out
+
+    def geomean_speedup(
+        self, accelerator: str, baseline_accelerator: str = "VAA"
+    ) -> float:
+        """Geomean speedup of one accelerator over the baseline."""
+        ratios = [
+            s
+            for p, s in self.speedups_over(baseline_accelerator).items()
+            if p.accelerator == accelerator
+        ]
+        return geomean(ratios)
+
+
+def sweep_grid(
+    models: Sequence[str],
+    accelerators: Sequence[str],
+    schemes: Sequence[str],
+    memories: Sequence[str],
+) -> tuple[SweepPoint, ...]:
+    """The cartesian product of the four coordinate axes."""
+    return tuple(
+        SweepPoint(m, a, s, mem)
+        for m, a, s, mem in itertools.product(models, accelerators, schemes, memories)
+    )
+
+
+def _simulate_point(args: tuple) -> SweepRow:
+    """Worker entry: simulate one grid point (module-level for pickling)."""
+    point, resolution, dataset_name, trace_count, crop, seed = args
+    result = simulate_network(
+        point.model,
+        point.accelerator,
+        scheme=point.scheme,
+        memory=point.memory,
+        resolution=resolution,
+        dataset_name=dataset_name,
+        trace_count=trace_count,
+        crop=crop,
+        seed=seed,
+    )
+    return SweepRow(point=point, result=result)
+
+
+def _warm_traces(args: tuple) -> str:
+    """Worker entry for the warm phase: populate the disk cache."""
+    model, dataset_name, trace_count, crop, seed = args
+    collect_traces(model, dataset_name, trace_count, crop, seed)
+    return model
+
+
+def run_sweep(
+    models: Sequence[str] = CI_MODEL_NAMES,
+    accelerators: Sequence[str] = DEFAULT_ACCELERATORS,
+    schemes: Sequence[str] = (DEFAULT_SCHEME,),
+    memories: Sequence[str] = (DEFAULT_MEMORY,),
+    resolution: tuple[int, int] = HD_RESOLUTION,
+    dataset_name: str = "HD33",
+    trace_count: int = 2,
+    crop: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    max_workers: Optional[int] = None,
+    warm: bool = True,
+) -> SweepResult:
+    """Run the full grid; see module docstring.
+
+    ``max_workers=None`` sizes the pool to the grid and CPU count;
+    ``max_workers=0`` forces serial in-process execution.  ``warm``
+    controls the trace-precompute phase (pointless when serial, where
+    in-process memoization already shares traces).
+    """
+    points = sweep_grid(models, accelerators, schemes, memories)
+    point_args = [
+        (p, resolution, dataset_name, trace_count, crop, seed) for p in points
+    ]
+
+    if max_workers is None:
+        max_workers = min(len(points), os.cpu_count() or 1)
+
+    rows: list[SweepRow]
+    with timing.timed("sweep.run"):
+        if max_workers and len(points) > 1:
+            try:
+                rows = _run_pooled(
+                    points, point_args, max_workers, warm,
+                    dataset_name, trace_count, crop, seed,
+                )
+            except OSError:
+                # No usable process pool (restricted sandbox, missing
+                # semaphores, ...): the sweep still completes serially.
+                timing.count("sweep.pool_fallback")
+                rows = [_simulate_point(a) for a in point_args]
+        else:
+            rows = [_simulate_point(a) for a in point_args]
+    return SweepResult(rows=tuple(rows), resolution=resolution)
+
+
+def _run_pooled(
+    points, point_args, max_workers, warm, dataset_name, trace_count, crop, seed
+) -> list[SweepRow]:
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        if warm:
+            distinct = sorted({p.model for p in points})
+            with timing.timed("sweep.warm_traces"):
+                list(
+                    pool.map(
+                        _warm_traces,
+                        [(m, dataset_name, trace_count, crop, seed) for m in distinct],
+                    )
+                )
+        with timing.timed("sweep.grid"):
+            return list(pool.map(_simulate_point, point_args))
+
+
+def format_result(result: SweepResult) -> str:
+    headers = ["model", "accelerator", "scheme", "memory", "fps", "time/frame"]
+    rows = [
+        [
+            r.point.model,
+            r.point.accelerator,
+            r.point.scheme,
+            r.point.memory,
+            f"{r.fps:.2f}",
+            f"{r.total_time_s * 1e3:.1f}ms",
+        ]
+        for r in result.rows
+    ]
+    h, w = result.resolution
+    return format_table(headers, rows, title=f"sweep at {w}x{h} ({len(rows)} points)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--models", nargs="+", default=list(CI_MODEL_NAMES))
+    parser.add_argument("--accelerators", nargs="+", default=list(DEFAULT_ACCELERATORS))
+    parser.add_argument("--schemes", nargs="+", default=[DEFAULT_SCHEME])
+    parser.add_argument("--memories", nargs="+", default=[DEFAULT_MEMORY])
+    parser.add_argument("--trace-count", type=int, default=2)
+    parser.add_argument("--dataset", default="HD33")
+    parser.add_argument("--crop", type=int, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process count (0 = serial; default: min(grid, cpus))",
+    )
+    args = parser.parse_args(argv)
+    result = run_sweep(
+        models=args.models,
+        accelerators=args.accelerators,
+        schemes=args.schemes,
+        memories=args.memories,
+        dataset_name=args.dataset,
+        trace_count=args.trace_count,
+        crop=args.crop,
+        max_workers=args.workers,
+    )
+    print(format_result(result))
+    if "VAA" in args.accelerators:
+        for acc in args.accelerators:
+            if acc != "VAA":
+                print(f"geomean {acc}/VAA: {result.geomean_speedup(acc):.2f}x")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -12,10 +12,12 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable
 
+from repro.cache import store as cache_store
 from repro.data.datasets import dataset
 from repro.models import ci, classification
 from repro.models.inputs import adapt_input
 from repro.nn.network import Network
+from repro.utils import timing
 from repro.utils.rng import DEFAULT_SEED
 
 
@@ -120,14 +122,28 @@ def prepare_model(
 
     The calibration crops come from ``calib_dataset`` at the model's
     ``trace_crop`` size and pass through its input adapter.  The returned
-    network is cached; treat it as read-only.
+    network is cached (in memory per process, and as a pickled calibrated
+    network in the :mod:`repro.cache` disk store); treat it as read-only.
     """
+    get_model_spec(name)  # fail fast on unknown names, before any disk I/O
+    return cache_store.fetch_or_compute(
+        "models",
+        (name, seed, calib_count, calib_dataset),
+        lambda: _calibrate(name, seed, calib_count, calib_dataset),
+    )
+
+
+def _calibrate(name: str, seed: int, calib_count: int, calib_dataset: str) -> Network:
     spec = get_model_spec(name)
     net = spec.builder(seed)
     ds = dataset(calib_dataset)
     crops = ds.crops(spec.trace_crop, calib_count, seed=seed)
-    net.calibrate([adapt_input(spec.input_adapter, crop) for crop in crops])
+    with timing.timed("models.calibrate"):
+        net.calibrate([adapt_input(spec.input_adapter, crop) for crop in crops])
     return net
+
+
+cache_store.register_memory_cache(prepare_model.cache_clear)
 
 
 def trace_model(

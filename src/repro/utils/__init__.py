@@ -4,6 +4,7 @@ These helpers are deliberately tiny and dependency-free so every other
 subpackage can use them without import cycles.
 """
 
+from repro.utils import timing
 from repro.utils.rng import derive_seed, rng_for
 from repro.utils.bits import (
     bits_for_magnitude,
@@ -19,6 +20,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "timing",
     "derive_seed",
     "rng_for",
     "bits_for_magnitude",

@@ -1,0 +1,160 @@
+"""Lightweight instrumentation: nestable timers and counters.
+
+Every performance claim in this repository should be *measured*, not
+asserted.  This module provides the minimal machinery to do that without
+dragging in a profiler:
+
+- :func:`timed` — a context manager (usable around any block) that
+  accumulates wall time under a hierarchical name.  Nested ``timed``
+  blocks record their full path (``"sim.collect_traces/data.synthesize"``),
+  so a report distinguishes time spent synthesizing images *inside* trace
+  collection from standalone synthesis.
+- :func:`count` — bump a named counter (cache hits/misses, bytes, ...).
+- :func:`report` — a formatted table of all timers and counters.
+
+Setting ``REPRO_PROFILE=1`` in the environment prints the report to
+stderr when the process exits, so any experiment or test run can be
+profiled without code changes.
+
+The registry is process-global and thread-local in its nesting stack;
+the accumulators themselves are guarded by a lock so worker threads can
+share them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "timed",
+    "count",
+    "timer_stats",
+    "counter_values",
+    "reset",
+    "report",
+    "profiling_enabled",
+]
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall time for one (possibly nested) timer path."""
+
+    calls: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+@dataclass
+class _Registry:
+    timers: dict[str, TimerStat] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+_REGISTRY = _Registry()
+_STACK = threading.local()
+
+
+def _path_stack() -> list[str]:
+    stack = getattr(_STACK, "names", None)
+    if stack is None:
+        stack = _STACK.names = []
+    return stack
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Accumulate the wall time of the enclosed block under ``name``.
+
+    Nested blocks record their slash-joined path, e.g. entering
+    ``timed("sim")`` then ``timed("traces")`` accumulates under
+    ``"sim/traces"``.
+    """
+    stack = _path_stack()
+    stack.append(name)
+    path = "/".join(stack)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        stack.pop()
+        with _REGISTRY.lock:
+            stat = _REGISTRY.timers.setdefault(path, TimerStat())
+            stat.calls += 1
+            stat.total_s += elapsed
+
+
+def count(name: str, increment: int = 1) -> None:
+    """Add ``increment`` to the named counter."""
+    with _REGISTRY.lock:
+        _REGISTRY.counters[name] = _REGISTRY.counters.get(name, 0) + increment
+
+
+def timer_stats() -> dict[str, TimerStat]:
+    """Snapshot of all timer paths (copies; safe to inspect)."""
+    with _REGISTRY.lock:
+        return {
+            k: TimerStat(v.calls, v.total_s) for k, v in _REGISTRY.timers.items()
+        }
+
+
+def counter_values() -> dict[str, int]:
+    """Snapshot of all counters."""
+    with _REGISTRY.lock:
+        return dict(_REGISTRY.counters)
+
+
+def reset() -> None:
+    """Clear all timers and counters (tests and repeated measurements)."""
+    with _REGISTRY.lock:
+        _REGISTRY.timers.clear()
+        _REGISTRY.counters.clear()
+
+
+def report(title: str = "repro timing report") -> str:
+    """Human-readable table of accumulated timers and counters."""
+    timers = timer_stats()
+    counters = counter_values()
+    lines = [title, "=" * len(title)]
+    if timers:
+        width = max(len(p) for p in timers)
+        lines.append(f"{'timer'.ljust(width)}  {'calls':>7}  {'total':>10}  {'mean':>10}")
+        for path in sorted(timers, key=lambda p: -timers[p].total_s):
+            stat = timers[path]
+            lines.append(
+                f"{path.ljust(width)}  {stat.calls:>7}  "
+                f"{stat.total_s:>9.3f}s  {stat.mean_s * 1e3:>8.2f}ms"
+            )
+    else:
+        lines.append("(no timers recorded)")
+    if counters:
+        lines.append("")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"{name.ljust(width)}  {counters[name]}")
+    return "\n".join(lines)
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` is set to a truthy value."""
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def _report_at_exit() -> None:  # pragma: no cover - exit hook
+    if profiling_enabled() and (timer_stats() or counter_values()):
+        print("\n" + report(), file=sys.stderr)
+
+
+atexit.register(_report_at_exit)

@@ -7,6 +7,8 @@ treat prepared networks and traces as read-only.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -21,6 +23,23 @@ from repro.utils.rng import DEFAULT_SEED, rng_for
 #: and low-resolution crops genuinely weaken them (see Fig 17 discussion).
 TEST_CROP = 64
 TEST_TRACE_DATASET = "HD33"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache_dir(tmp_path_factory):
+    """Point the repro disk cache at a per-session temp directory.
+
+    Tests must neither read a developer's warm ``~/.cache/repro`` (which
+    could mask a determinism bug) nor pollute it; within the session the
+    cache still warms normally, which is itself test coverage.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

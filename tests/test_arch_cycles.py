@@ -2,9 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.arch.config import DIFFY_CONFIG, AcceleratorConfig
 from repro.arch.cycles import (
+    _lane_term_totals_loops,
+    _step_term_maxima_loops,
     filter_passes,
     geometry_occupancies,
     lane_term_totals,
@@ -166,3 +169,101 @@ class TestGeometryOccupancies:
         filter_occ, channel_occ = geometry_occupancies(layer, DIFFY_CONFIG)
         assert filter_occ == 1.0
         assert channel_occ == 1.0
+
+
+#: Randomized layer geometries for the vectorized-vs-loop equivalence
+#: guard: channel counts straddling brick boundaries, strides, and the
+#: dilated IRCNN-style taps.
+geometries = st.tuples(
+    st.integers(min_value=1, max_value=40),   # channels
+    st.integers(min_value=1, max_value=5),    # kernel
+    st.integers(min_value=1, max_value=3),    # stride
+    st.integers(min_value=1, max_value=4),    # dilation
+    st.integers(min_value=1, max_value=6),    # out_h
+    st.integers(min_value=1, max_value=6),    # out_w
+    st.sampled_from([4, 16]),                 # brick
+    st.integers(min_value=0, max_value=2**32 - 1),  # term-map seed
+)
+
+
+def _random_term_map(seed, c, h, w):
+    # Booth term counts of a 16-bit word are 0..8; include the extremes.
+    return np.random.default_rng(seed).integers(0, 9, size=(c, h, w)).astype(np.int64)
+
+
+class TestVectorizedKernelsMatchLoops:
+    """The strided-view kernels are drop-in replacements for the loop
+    reference implementations — exact equality on every geometry."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometries)
+    def test_step_term_maxima(self, geom):
+        c, kernel, stride, dilation, out_h, out_w, brick, seed = geom
+        h = (kernel - 1) * dilation + (out_h - 1) * stride + 1
+        w = (kernel - 1) * dilation + (out_w - 1) * stride + 1
+        tm = _random_term_map(seed, c, h, w)
+        maxima, total = step_term_maxima(tm, kernel, stride, dilation, out_h, out_w, brick)
+        ref_maxima, ref_total = _step_term_maxima_loops(
+            tm, kernel, stride, dilation, out_h, out_w, brick
+        )
+        assert maxima.shape == ref_maxima.shape
+        assert maxima.dtype == ref_maxima.dtype
+        assert np.array_equal(maxima, ref_maxima)
+        assert total == ref_total
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometries)
+    def test_lane_term_totals(self, geom):
+        c, kernel, stride, dilation, out_h, out_w, brick, seed = geom
+        h = (kernel - 1) * dilation + (out_h - 1) * stride + 1
+        w = (kernel - 1) * dilation + (out_w - 1) * stride + 1
+        tm = _random_term_map(seed, c, h, w)
+        totals, total = lane_term_totals(tm, kernel, stride, dilation, out_h, out_w, brick)
+        ref_totals, ref_total = _lane_term_totals_loops(
+            tm, kernel, stride, dilation, out_h, out_w, brick
+        )
+        assert totals.shape == ref_totals.shape
+        assert np.array_equal(totals, ref_totals)
+        assert total == ref_total
+
+    def test_spatial_margin_beyond_kernel_span(self):
+        # Real padded imaps are larger than the exact window span; the
+        # strided view must respect out_h/out_w, not consume the margin.
+        tm = _random_term_map(7, 20, 30, 33)
+        for fn, ref in (
+            (step_term_maxima, _step_term_maxima_loops),
+            (lane_term_totals, _lane_term_totals_loops),
+        ):
+            got = fn(tm, 3, 1, 1, 10, 12, 16)
+            want = ref(tm, 3, 1, 1, 10, 12, 16)
+            assert np.array_equal(got[0], want[0]) and got[1] == want[1]
+
+    def test_dilated_ircnn_layer_end_to_end(self, ircnn_trace):
+        # IRCNN's mid layers are the dilation-4 extreme in the model zoo;
+        # both sync aggregates must agree with the references on a real
+        # dilated trace layer, not just synthetic maps.
+        layer = max(ircnn_trace, key=lambda l: l.dilation)
+        assert layer.dilation > 1
+        from repro.arch.term_maps import raw_term_map
+
+        tm = raw_term_map(layer)
+        _, out_h, out_w = layer.omap_shape
+        args = (layer.kernel, layer.stride, layer.dilation, out_h, out_w, 16)
+        got = step_term_maxima(tm, *args)
+        want = _step_term_maxima_loops(tm, *args)
+        assert np.array_equal(got[0], want[0]) and got[1] == want[1]
+        got = lane_term_totals(tm, *args)
+        want = _lane_term_totals_loops(tm, *args)
+        assert np.array_equal(got[0], want[0]) and got[1] == want[1]
+
+    def test_non_contiguous_input(self):
+        base = _random_term_map(3, 24, 12, 12)
+        tm = base[::2]  # strided channel view
+        got = step_term_maxima(tm, 3, 1, 1, 10, 10, 16)
+        want = _step_term_maxima_loops(tm, 3, 1, 1, 10, 10, 16)
+        assert np.array_equal(got[0], want[0]) and got[1] == want[1]
+
+    def test_too_small_map_raises(self):
+        tm = _random_term_map(1, 4, 4, 4)
+        with pytest.raises(ValueError, match="too small"):
+            step_term_maxima(tm, 3, 1, 3, 4, 4, 16)

@@ -1,0 +1,158 @@
+"""Cache correctness: warm == cold bit-identically, and the store obeys
+its env-var contract (location, kill switch, schema invalidation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.sim import collect_traces, simulate_network
+from repro.cache import store
+from repro.data.datasets import dataset
+from repro.experiments.common import traces_for
+from repro.models.registry import prepare_model
+
+
+@pytest.fixture()
+def fresh_cache(tmp_path, monkeypatch):
+    """An empty disk cache with all in-memory memo layers dropped."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    store.clear_memory_caches()
+    store.reset_stats()
+    yield tmp_path
+    store.clear_memory_caches()
+
+
+def _assert_traces_identical(a, b):
+    assert len(a) == len(b)
+    for ta, tb in zip(a, b):
+        assert ta.network == tb.network
+        assert ta.input_shape == tb.input_shape
+        assert ta.input_scale == tb.input_scale
+        assert len(ta) == len(tb)
+        for la, lb in zip(ta, tb):
+            assert la.name == lb.name and la.index == lb.index
+            assert (la.kernel, la.stride, la.padding, la.dilation) == (
+                lb.kernel, lb.stride, lb.padding, lb.dilation
+            )
+            assert la.imap_scale == lb.imap_scale
+            assert la.omap_scale == lb.omap_scale
+            assert la.imap.dtype == lb.imap.dtype
+            assert np.array_equal(la.imap, lb.imap)
+            assert np.array_equal(la.omap, lb.omap)
+
+
+class TestStore:
+    def test_digest_is_stable_and_key_sensitive(self):
+        d1 = store.stable_digest("ns", "DnCNN", 2, 0xD1FF)
+        assert d1 == store.stable_digest("ns", "DnCNN", 2, 0xD1FF)
+        assert d1 != store.stable_digest("ns", "DnCNN", 3, 0xD1FF)
+        assert d1 != store.stable_digest("other", "DnCNN", 2, 0xD1FF)
+
+    def test_fetch_computes_once_then_hits(self, fresh_cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": np.arange(5)}
+
+        v1 = store.fetch_or_compute("t", ("k",), compute)
+        v2 = store.fetch_or_compute("t", ("k",), compute)
+        assert len(calls) == 1
+        assert np.array_equal(v1["x"], v2["x"])
+        stats = store.cache_stats()
+        assert stats.misses == 1 and stats.hits == 1 and stats.stores == 1
+
+    def test_no_cache_env_bypasses_store(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        calls = []
+        for _ in range(2):
+            store.fetch_or_compute("t", ("k",), lambda: calls.append(1) or 42)
+        assert len(calls) == 2, "disabled cache must recompute every fetch"
+        assert not list(fresh_cache.rglob("*.pkl")), "disabled cache must not write"
+        assert store.cache_stats().bypasses == 2
+
+    def test_schema_bump_invalidates(self, fresh_cache, monkeypatch):
+        calls = []
+        store.fetch_or_compute("t", ("k",), lambda: calls.append(1) or 1)
+        monkeypatch.setattr(store, "CACHE_SCHEMA_VERSION", store.CACHE_SCHEMA_VERSION + 1)
+        store.fetch_or_compute("t", ("k",), lambda: calls.append(1) or 1)
+        assert len(calls) == 2, "new schema version must not read old entries"
+
+    def test_corrupt_entry_recomputed(self, fresh_cache):
+        store.fetch_or_compute("t", ("k",), lambda: 7)
+        (entry,) = list(fresh_cache.rglob("*.pkl"))
+        entry.write_bytes(b"not a pickle")
+        assert store.fetch_or_compute("t", ("k",), lambda: 7) == 7
+        assert store.cache_stats().errors >= 1
+
+    def test_purge_empties_root(self, fresh_cache):
+        store.fetch_or_compute("a", (1,), lambda: 1)
+        store.fetch_or_compute("b", (2,), lambda: 2)
+        assert store.purge() == 2
+        assert not list(fresh_cache.rglob("*.pkl"))
+
+    def test_env_is_read_per_call(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not store.cache_enabled()
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        assert store.cache_enabled()
+        assert store.cache_root() == fresh_cache
+
+
+class TestWarmColdEquivalence:
+    """The headline invariant: cached results are bit-identical."""
+
+    def test_images_round_trip(self, fresh_cache):
+        cold = dataset("Kodak24").image(0)
+        store.clear_memory_caches()
+        warm = dataset("Kodak24").image(0)
+        assert warm.dtype == cold.dtype
+        assert np.array_equal(warm, cold)
+
+    def test_traces_warm_equals_cold(self, fresh_cache):
+        cold = traces_for("DnCNN", count=1, crop=48)
+        store.clear_memory_caches()  # next call must come from disk
+        warm = traces_for("DnCNN", count=1, crop=48)
+        assert store.cache_stats().hits >= 1
+        _assert_traces_identical(cold, warm)
+
+    def test_simulate_network_warm_equals_cold(self, fresh_cache):
+        kwargs = dict(trace_count=1, crop=48)
+        cold = simulate_network("DnCNN", "Diffy", **kwargs)
+        store.clear_memory_caches()
+        warm = simulate_network("DnCNN", "Diffy", **kwargs)
+        assert warm == cold  # NetworkResult is scalar-field dataclasses
+
+    def test_cache_disabled_matches_enabled(self, fresh_cache, monkeypatch):
+        kwargs = dict(trace_count=1, crop=48)
+        enabled = simulate_network("FFDNet", "PRA", **kwargs)
+        store.clear_memory_caches()
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        disabled = simulate_network("FFDNet", "PRA", **kwargs)
+        assert disabled == enabled
+
+    def test_prepared_model_round_trip_traces_identically(self, fresh_cache):
+        net_cold = prepare_model("IRCNN")
+        image = dataset("HD33").crop(0, 40)
+        trace_cold = net_cold.trace(image)
+        store.clear_memory_caches()
+        net_warm = prepare_model("IRCNN")
+        assert net_warm is not net_cold, "second call must come from disk"
+        trace_warm = net_warm.trace(image)
+        _assert_traces_identical([trace_cold], [trace_warm])
+
+
+class TestCropKeyNormalization:
+    """crop=None and crop == spec.trace_crop must share one cache entry."""
+
+    def test_single_entry_for_default_crop(self, fresh_cache):
+        from repro.models.registry import get_model_spec
+
+        spec = get_model_spec("FFDNet")
+        a = collect_traces("FFDNet", "HD33", 1, None)
+        b = collect_traces("FFDNet", "HD33", 1, spec.trace_crop)
+        assert a is b, "normalized keys must hit the same memo entry"
+        trace_entries = list((fresh_cache / "traces").rglob("*.pkl"))
+        assert len(trace_entries) == 1

@@ -1,0 +1,98 @@
+"""Tests for the grid sweep runner (serial path + grid bookkeeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.sim import simulate_network
+from repro.experiments.sweep import (
+    SweepPoint,
+    format_result,
+    run_sweep,
+    sweep_grid,
+)
+
+#: Small-but-real sweep settings: two models, tiny crop, one trace each.
+SWEEP_KWARGS = dict(
+    models=("DnCNN", "FFDNet"),
+    accelerators=("VAA", "Diffy"),
+    trace_count=1,
+    crop=40,
+    max_workers=0,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    return run_sweep(**SWEEP_KWARGS)
+
+
+class TestSweepGrid:
+    def test_cartesian_product_order(self):
+        grid = sweep_grid(["A", "B"], ["X"], ["s"], ["m1", "m2"])
+        assert grid == (
+            SweepPoint("A", "X", "s", "m1"),
+            SweepPoint("A", "X", "s", "m2"),
+            SweepPoint("B", "X", "s", "m1"),
+            SweepPoint("B", "X", "s", "m2"),
+        )
+
+
+class TestSerialSweep:
+    def test_covers_full_grid(self, serial_sweep):
+        assert len(serial_sweep) == 4
+        points = {(r.point.model, r.point.accelerator) for r in serial_sweep.rows}
+        assert points == {
+            ("DnCNN", "VAA"),
+            ("DnCNN", "Diffy"),
+            ("FFDNet", "VAA"),
+            ("FFDNet", "Diffy"),
+        }
+
+    def test_rows_match_direct_simulation(self, serial_sweep):
+        (row,) = serial_sweep.select(model="DnCNN", accelerator="Diffy")
+        direct = simulate_network(
+            "DnCNN", "Diffy", trace_count=1, crop=40
+        )
+        assert row.result == direct
+
+    def test_select_filters(self, serial_sweep):
+        assert len(serial_sweep.select(accelerator="VAA")) == 2
+        assert len(serial_sweep.select(model="FFDNet", accelerator="VAA")) == 1
+        assert serial_sweep.select(model="nope") == []
+
+    def test_speedups_over_baseline(self, serial_sweep):
+        speedups = serial_sweep.speedups_over("VAA")
+        # one entry per non-baseline point
+        assert len(speedups) == 2
+        for point, ratio in speedups.items():
+            assert point.accelerator == "Diffy"
+            (diffy_row,) = serial_sweep.select(
+                model=point.model, accelerator="Diffy"
+            )
+            (vaa_row,) = serial_sweep.select(model=point.model, accelerator="VAA")
+            assert ratio == pytest.approx(
+                vaa_row.result.total_time_s / diffy_row.result.total_time_s
+            )
+            assert ratio > 1.0, "Diffy must beat the value-agnostic baseline"
+
+    def test_geomean_speedup(self, serial_sweep):
+        g = serial_sweep.geomean_speedup("Diffy")
+        ratios = list(serial_sweep.speedups_over("VAA").values())
+        assert min(ratios) <= g <= max(ratios)
+
+    def test_format_result_mentions_every_point(self, serial_sweep):
+        text = format_result(serial_sweep)
+        for name in ("DnCNN", "FFDNet", "VAA", "Diffy"):
+            assert name in text
+        assert "4 points" in text
+
+
+class TestPooledSweep:
+    @pytest.mark.slow
+    def test_pooled_matches_serial(self, serial_sweep):
+        pooled = run_sweep(**{**SWEEP_KWARGS, "max_workers": 2})
+        assert [r.point for r in pooled.rows] == [r.point for r in serial_sweep.rows]
+        assert [r.result for r in pooled.rows] == [
+            r.result for r in serial_sweep.rows
+        ]

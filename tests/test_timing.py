@@ -1,0 +1,83 @@
+"""Tests for the instrumentation layer (timers, counters, report)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils import timing
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    timing.reset()
+    yield
+    timing.reset()
+
+
+class TestTimers:
+    def test_accumulates_calls_and_time(self):
+        for _ in range(3):
+            with timing.timed("work"):
+                time.sleep(0.001)
+        stats = timing.timer_stats()
+        assert stats["work"].calls == 3
+        assert stats["work"].total_s >= 0.003
+        assert stats["work"].mean_s == pytest.approx(stats["work"].total_s / 3)
+
+    def test_nested_paths(self):
+        with timing.timed("outer"):
+            with timing.timed("inner"):
+                pass
+        stats = timing.timer_stats()
+        assert "outer" in stats
+        assert "outer/inner" in stats
+        assert "inner" not in stats
+
+    def test_exception_still_recorded(self):
+        with pytest.raises(ValueError):
+            with timing.timed("boom"):
+                raise ValueError()
+        assert timing.timer_stats()["boom"].calls == 1
+        # the nesting stack must unwind so later timers get clean paths
+        with timing.timed("after"):
+            pass
+        assert "after" in timing.timer_stats()
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        timing.count("cache.hit")
+        timing.count("cache.hit", 4)
+        assert timing.counter_values()["cache.hit"] == 5
+
+    def test_reset_clears_everything(self):
+        timing.count("c")
+        with timing.timed("t"):
+            pass
+        timing.reset()
+        assert timing.counter_values() == {}
+        assert timing.timer_stats() == {}
+
+
+class TestReport:
+    def test_report_names_all_entries(self):
+        with timing.timed("alpha"):
+            pass
+        timing.count("beta", 2)
+        text = timing.report()
+        assert "alpha" in text
+        assert "beta" in text
+        assert "2" in text
+
+    def test_empty_report_is_valid(self):
+        assert "no timers" in timing.report()
+
+    def test_profiling_enabled_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not timing.profiling_enabled()
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert timing.profiling_enabled()
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert not timing.profiling_enabled()
