@@ -10,7 +10,7 @@ the empirical distribution of 16-bit fixed-point values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -94,6 +94,9 @@ class EntropyStats:
     h_raw: float
     h_conditional: float
     h_delta: float
+
+    #: Derived metrics the golden serializer records alongside the fields.
+    __golden_properties__ = ("compression_conditional", "compression_delta")
 
     @property
     def compression_conditional(self) -> float:

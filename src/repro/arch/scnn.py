@@ -28,7 +28,6 @@ The shared simulation driver applies the RLEz traffic model for SCNN.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -70,6 +70,9 @@ class LayerResult:
     utilization: float
     traffic: LayerTraffic
 
+    #: Derived metrics the golden serializer records alongside the fields.
+    __golden_properties__ = ("time_s", "stall_fraction", "useful_fraction")
+
     @property
     def time_s(self) -> float:
         """Layer latency with compute/memory overlap (double buffering)."""
@@ -106,6 +109,9 @@ class NetworkResult:
     resolution: tuple[int, int]
     frequency_ghz: float
     layers: tuple[LayerResult, ...]
+
+    #: Derived metrics the golden serializer records alongside the fields.
+    __golden_properties__ = ("fps", "total_time_s", "stall_fraction", "traffic_bytes")
 
     @property
     def total_time_s(self) -> float:

@@ -26,7 +26,7 @@ import numpy as np
 from repro.compression.schemes import CompressionScheme, scheme as get_scheme
 from repro.core.precision import profiled_precision, profiled_precision_tolerant
 from repro.nn.network import Network
-from repro.nn.shapes import LayerShape, conv_layer_shapes
+from repro.nn.shapes import conv_layer_shapes
 from repro.nn.trace import ActivationTrace
 
 

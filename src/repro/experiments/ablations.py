@@ -32,6 +32,7 @@ from repro.experiments.common import (
     geomean,
     traces_for,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.models.registry import prepare_model
 from repro.utils.rng import DEFAULT_SEED
 
@@ -52,6 +53,7 @@ def run_sync(
     models: tuple[str, ...] = CI_MODEL_NAMES,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> SyncAblationResult:
     pra: dict[str, list[float]] = {s: [] for s in SYNC_MODELS}
@@ -59,18 +61,18 @@ def run_sync(
     for model in models:
         vaa = simulate_network(
             model, "VAA", scheme="NoCompression", memory="Ideal",
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
         for sync in SYNC_MODELS:
             pra_res = simulate_network(
                 model, "PRA", scheme="DeltaD16", memory="Ideal",
                 config=dataclasses.replace(PRA_CONFIG, sync=sync),
-                dataset_name=dataset, trace_count=trace_count, seed=seed,
+                dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
             )
             diffy_res = simulate_network(
                 model, "Diffy", scheme="DeltaD16", memory="Ideal",
                 config=dataclasses.replace(DIFFY_CONFIG, sync=sync),
-                dataset_name=dataset, trace_count=trace_count, seed=seed,
+                dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
             )
             pra[sync].append(pra_res.speedup_over(vaa))
             diffy[sync].append(diffy_res.speedup_over(vaa))
@@ -109,11 +111,12 @@ def run_axis(
     models: tuple[str, ...] = CI_MODEL_NAMES,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> AxisAblationResult:
     cycles: dict[str, dict[str, float]] = {}
     for model in models:
-        traces = traces_for(model, dataset, trace_count, seed=seed)
+        traces = traces_for(model, dataset, trace_count, crop, seed=seed)
         cycles[model] = {}
         for axis in ("x", "y"):
             diffy = DiffyModel(axis=axis)
@@ -150,13 +153,14 @@ def run_group_size(
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
     resolution: tuple[int, int] = (1080, 1920),
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> GroupSizeAblationResult:
     schemes = ("DeltaD256", "DeltaD16", "RawD8", "RawD16", "RawD256")
     ratios = {}
     for model in models:
         net = prepare_model(model, seed)
-        traces = traces_for(model, dataset, trace_count, seed=seed)
+        traces = traces_for(model, dataset, trace_count, crop, seed=seed)
         ratios[model] = normalized_traffic(net, traces, schemes, *resolution)
     return GroupSizeAblationResult(ratios=ratios, schemes=schemes)
 
@@ -184,6 +188,9 @@ class SelectiveResult:
     selective_cycles: float
     layers_reverted: int
 
+    #: Derived metrics the golden serializer records alongside the fields.
+    __golden_properties__ = ("improvement_over_diffy",)
+
     @property
     def improvement_over_diffy(self) -> float:
         """Fractional cycle reduction from per-layer selection."""
@@ -194,6 +201,7 @@ def run_selective(
     models: tuple[str, ...] = CI_MODEL_NAMES,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> list[SelectiveResult]:
     """Choose, per layer, the faster of differential and raw processing.
@@ -204,7 +212,7 @@ def run_selective(
     """
     out = []
     for model in models:
-        traces = traces_for(model, dataset, trace_count, seed=seed)
+        traces = traces_for(model, dataset, trace_count, crop, seed=seed)
         diffy_model = DiffyModel()
         pra_model = PRAModel()
         diffy_total = pra_total = selective_total = 0.0
@@ -244,6 +252,34 @@ def format_selective(results: list[SelectiveResult]) -> str:
         rows,
         title="Ablation: selective per-layer differential convolution "
         "(paper: below 1% at best)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Combined entry point for the golden-regression harness
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AblationsResult:
+    sync: SyncAblationResult
+    axis: AxisAblationResult
+    group_size: GroupSizeAblationResult
+    selective: tuple[SelectiveResult, ...]
+
+
+def compute(profile: Profile | None = None) -> AblationsResult:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    kw = dict(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
+    return AblationsResult(
+        sync=run_sync(**kw),
+        axis=run_axis(**kw),
+        group_size=run_group_size(**kw),
+        selective=tuple(run_selective(**kw)),
     )
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.core.temporal import FrameSequenceTrace
 from repro.data.video import synthesize_clip
 from repro.experiments.common import format_table, geomean
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.models.inputs import adapt_input
 from repro.models.registry import get_model_spec, prepare_model
 from repro.utils.rng import DEFAULT_SEED
@@ -39,6 +40,13 @@ class TemporalResult:
     #: Layers per winning mode.
     mode_counts: dict[str, int]
     frame_buffer_kb: float
+
+    #: Derived metrics the golden serializer records alongside the fields.
+    __golden_properties__ = (
+        "spatial_speedup",
+        "temporal_speedup",
+        "combined_speedup",
+    )
 
     @property
     def spatial_speedup(self) -> float:
@@ -91,6 +99,16 @@ def run(
 ) -> list[TemporalResult]:
     """Sweep scene motion; temporal-vs-spatial crossover is the story."""
     return [run_one(model, pan, crop, seed=seed) for pan in pans]
+
+
+def compute(profile: Profile | None = None) -> list[TemporalResult]:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        model=p.pick_models(("DnCNN",))[0],
+        crop=p.pick_crop(64),
+        seed=p.seed,
+    )
 
 
 def format_result(results: list[TemporalResult]) -> str:

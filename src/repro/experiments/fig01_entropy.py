@@ -17,6 +17,7 @@ from repro.experiments.common import (
     geomean,
     traces_for,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 
@@ -25,6 +26,9 @@ class Fig1Result:
     """Per-network entropy statistics plus the paper's average potentials."""
 
     stats: tuple[EntropyStats, ...]
+
+    #: Derived metrics the golden serializer records alongside the fields.
+    __golden_properties__ = ("mean_compression_conditional", "mean_compression_delta")
 
     @property
     def mean_compression_conditional(self) -> float:
@@ -39,14 +43,26 @@ def run(
     models: tuple[str, ...] = CI_MODEL_NAMES,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig1Result:
     """Measure Fig 1's entropies over seeded traces of each model."""
     stats = tuple(
-        trace_entropy_stats(traces_for(model, dataset, trace_count, seed=seed))
+        trace_entropy_stats(traces_for(model, dataset, trace_count, crop, seed=seed))
         for model in models
     )
     return Fig1Result(stats=stats)
+
+
+def compute(profile: Profile | None = None) -> Fig1Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig1Result) -> str:

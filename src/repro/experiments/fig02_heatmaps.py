@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.analysis.spatial import HeatmapData, heatmap_data
 from repro.data.datasets import dataset
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.models.inputs import adapt_input
 from repro.models.registry import get_model_spec, prepare_model
 from repro.utils.rng import DEFAULT_SEED
@@ -47,6 +48,16 @@ def run(
     trace = net.trace(adapt_input(spec.input_adapter, image))
     layer = trace.layer_named(layer_name)
     return Fig2Result(model=model, layer=layer_name, heatmaps=heatmap_data(layer))
+
+
+def compute(profile: Profile | None = None) -> Fig2Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        model=p.pick_models(("DnCNN",))[0],
+        crop=p.pick_crop(128),
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig2Result) -> str:

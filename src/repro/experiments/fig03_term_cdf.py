@@ -8,8 +8,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.analysis.terms import TermStats, trace_term_stats
 from repro.experiments.common import (
     CI_MODEL_NAMES,
@@ -18,6 +16,7 @@ from repro.experiments.common import (
     format_table,
     traces_for,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 
@@ -31,13 +30,25 @@ def run(
     models: tuple[str, ...] = CI_MODEL_NAMES,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig3Result:
     """Accumulate term histograms over every model's traces."""
     traces = []
     for model in models:
-        traces.extend(traces_for(model, dataset, trace_count, seed=seed))
+        traces.extend(traces_for(model, dataset, trace_count, crop, seed=seed))
     return Fig3Result(stats=trace_term_stats(traces), models=models)
+
+
+def compute(profile: Profile | None = None) -> Fig3Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig3Result) -> str:

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     geomean,
     traces_for,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 
@@ -38,13 +39,25 @@ def run(
     models: tuple[str, ...] = CI_MODEL_NAMES,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig4Result:
     return Fig4Result(
         potentials=tuple(
-            potential_speedups(traces_for(model, dataset, trace_count, seed=seed))
+            potential_speedups(traces_for(model, dataset, trace_count, crop, seed=seed))
             for model in models
         )
+    )
+
+
+def compute(profile: Profile | None = None) -> Fig4Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
     )
 
 

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     format_table,
     traces_for,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 #: The six approaches of Fig 5, in presentation order.
@@ -39,14 +40,26 @@ def run(
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
     schemes: tuple[str, ...] = FIG5_SCHEMES,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig5Result:
     ratios = {}
     for model in models:
-        traces = traces_for(model, dataset, trace_count, seed=seed)
+        traces = traces_for(model, dataset, trace_count, crop, seed=seed)
         precisions = imap_precisions(traces)
         ratios[model] = normalized_footprints(traces, schemes, precisions)
     return Fig5Result(ratios=ratios)
+
+
+def compute(profile: Profile | None = None) -> Fig5Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig5Result) -> str:

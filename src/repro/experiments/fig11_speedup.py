@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.sim import NetworkResult, simulate_network
+from repro.arch.sim import simulate_network
 from repro.experiments.common import (
     CI_MODEL_NAMES,
     DEFAULT_DATASET,
@@ -17,6 +17,7 @@ from repro.experiments.common import (
     format_table,
     geomean,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 #: Compression regimes of Fig 11 ("Ideal" = infinite off-chip bandwidth).
@@ -46,6 +47,7 @@ def per_layer_diffy_over_pra(
     models: tuple[str, ...] = CI_MODEL_NAMES,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> dict[str, float]:
     """Per-layer Diffy/PRA cycle ratios across all models' layers.
@@ -64,7 +66,7 @@ def per_layer_diffy_over_pra(
     diffy_model, pra_model = DiffyModel(), PRAModel()
     ratios = []
     for model in models:
-        for trace in traces_for(model, dataset, trace_count, seed=seed):
+        for trace in traces_for(model, dataset, trace_count, crop, seed=seed):
             for layer in trace:
                 pra = pra_model.layer_cycles(layer).cycles
                 diffy = diffy_model.layer_cycles(layer).cycles
@@ -79,15 +81,15 @@ def per_layer_diffy_over_pra(
     }
 
 
-def _simulate(model, accelerator, scheme, memory, dataset, trace_count, seed):
+def _simulate(model, accelerator, scheme, memory, dataset, trace_count, crop, seed):
     if scheme == "Ideal":
         return simulate_network(
             model, accelerator, scheme="NoCompression", memory="Ideal",
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
     return simulate_network(
         model, accelerator, scheme=scheme, memory=memory,
-        dataset_name=dataset, trace_count=trace_count, seed=seed,
+        dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
     )
 
 
@@ -97,19 +99,20 @@ def run(
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
     schemes: tuple[str, ...] = FIG11_SCHEMES,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig11Result:
     rows = []
     for model in models:
         # VAA is compute-bound; its compression scheme is irrelevant to
         # performance (the paper makes the same observation).
-        vaa = _simulate(model, "VAA", "NoCompression", memory, dataset, trace_count, seed)
+        vaa = _simulate(model, "VAA", "NoCompression", memory, dataset, trace_count, crop, seed)
         pra = {}
         diffy = {}
         diffy_stall = 0.0
         for scheme in schemes:
-            pra_res = _simulate(model, "PRA", scheme, memory, dataset, trace_count, seed)
-            diffy_res = _simulate(model, "Diffy", scheme, memory, dataset, trace_count, seed)
+            pra_res = _simulate(model, "PRA", scheme, memory, dataset, trace_count, crop, seed)
+            diffy_res = _simulate(model, "Diffy", scheme, memory, dataset, trace_count, crop, seed)
             pra[scheme] = pra_res.speedup_over(vaa)
             diffy[scheme] = diffy_res.speedup_over(vaa)
             if scheme == "DeltaD16":
@@ -118,6 +121,17 @@ def run(
             Fig11Row(network=model, pra=pra, diffy=diffy, diffy_stall_fraction=diffy_stall)
         )
     return Fig11Result(rows=tuple(rows), memory=memory)
+
+
+def compute(profile: Profile | None = None) -> Fig11Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig11Result) -> str:

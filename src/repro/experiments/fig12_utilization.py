@@ -20,6 +20,7 @@ from repro.experiments.common import (
     DEFAULT_TRACE_COUNT,
     format_table,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 
@@ -47,13 +48,14 @@ def run(
     memory: str = "DDR4-3200",
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig12Result:
     networks = {}
     for model in models:
         res = simulate_network(
             model, "Diffy", scheme=scheme, memory=memory,
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
         networks[model] = [
             LayerUtilization(
@@ -65,6 +67,17 @@ def run(
             for layer in res.layers
         ]
     return Fig12Result(networks=networks)
+
+
+def compute(profile: Profile | None = None) -> Fig12Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig12Result) -> str:

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     DEFAULT_DATASET,
     format_table,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 
@@ -35,27 +36,28 @@ def run(
     memory: str = "DDR4-3200",
     dataset: str = DEFAULT_DATASET,
     trace_count: int = 3,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> list[Fig13Row]:
     rows = []
     for model in models:
         vaa = simulate_network(
             model, "VAA", scheme="NoCompression", memory=memory,
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
         pra = simulate_network(
             model, "PRA", scheme=scheme, memory=memory,
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
         diffy = simulate_network(
             model, "Diffy", scheme=scheme, memory=memory,
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
         # Content variance: per-image FPS across single-trace runs.
         per_image = [
             simulate_network(
                 model, "Diffy", scheme=scheme, memory=memory,
-                dataset_name=dataset, trace_count=1, crop=None, seed=seed + i,
+                dataset_name=dataset, trace_count=1, crop=crop, seed=seed + i,
             ).fps
             for i in range(2)
         ]
@@ -69,6 +71,17 @@ def run(
             )
         )
     return rows
+
+
+def compute(profile: Profile | None = None) -> list[Fig13Row]:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(rows: list[Fig13Row]) -> str:

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     format_table,
     traces_for,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.models.registry import prepare_model
 from repro.utils.rng import DEFAULT_SEED
 
@@ -51,14 +52,26 @@ def run(
     trace_count: int = DEFAULT_TRACE_COUNT,
     resolution: tuple[int, int] = (1080, 1920),
     schemes: tuple[str, ...] = FIG14_SCHEMES,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig14Result:
     ratios = {}
     for model in models:
         net = prepare_model(model, seed)
-        traces = traces_for(model, dataset, trace_count, seed=seed)
+        traces = traces_for(model, dataset, trace_count, crop, seed=seed)
         ratios[model] = normalized_traffic(net, traces, schemes, *resolution)
     return Fig14Result(ratios=ratios, resolution=resolution)
+
+
+def compute(profile: Profile | None = None) -> Fig14Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig14Result) -> str:

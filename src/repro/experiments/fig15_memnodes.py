@@ -18,6 +18,7 @@ from repro.experiments.common import (
     DEFAULT_TRACE_COUNT,
     format_table,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 FIG15_SCHEMES = ("NoCompression", "Profiled", "DeltaD16")
@@ -44,17 +45,18 @@ def run(
     channels: int = 1,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig15Result:
     grid: dict[str, dict[str, dict[str, Fig15Cell]]] = {}
     for model in models:
         vaa = simulate_network(
             model, "VAA", scheme="NoCompression", memory="Ideal",
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
         best = simulate_network(
             model, "Diffy", scheme="NoCompression", memory="Ideal",
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
         grid[model] = {}
         for node in nodes:
@@ -62,13 +64,24 @@ def run(
             for scheme in schemes:
                 res = simulate_network(
                     model, "Diffy", scheme=scheme, memory=node, channels=channels,
-                    dataset_name=dataset, trace_count=trace_count, seed=seed,
+                    dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
                 )
                 grid[model][node][scheme] = Fig15Cell(
                     speedup_over_vaa=res.speedup_over(vaa),
                     fraction_of_max=best.total_time_s / res.total_time_s,
                 )
     return Fig15Result(grid=grid, nodes=nodes, schemes=schemes)
+
+
+def compute(profile: Profile | None = None) -> Fig15Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig15Result) -> str:

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     format_table,
     geomean,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 #: T_x sweep of Fig 16.
@@ -41,6 +42,7 @@ def run(
     terms: tuple[int, ...] = FIG16_TERMS,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig16Result:
     speedups: dict[str, dict[int, float]] = {}
@@ -50,15 +52,26 @@ def run(
             vaa = simulate_network(
                 model, "VAA", scheme="NoCompression", memory="Ideal",
                 config=VAA_CONFIG.with_terms(t),
-                dataset_name=dataset, trace_count=trace_count, seed=seed,
+                dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
             )
             diffy = simulate_network(
                 model, "Diffy", scheme="DeltaD16", memory="Ideal",
                 config=DIFFY_CONFIG.with_terms(t),
-                dataset_name=dataset, trace_count=trace_count, seed=seed,
+                dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
             )
             speedups[model][t] = diffy.speedup_over(vaa)
     return Fig16Result(speedups=speedups, terms=terms)
+
+
+def compute(profile: Profile | None = None) -> Fig16Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig16Result) -> str:

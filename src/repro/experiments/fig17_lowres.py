@@ -15,6 +15,7 @@ from repro.experiments.common import (
     DEFAULT_TRACE_COUNT,
     format_table,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 #: Resolution sweep in megapixels (height, width).
@@ -51,6 +52,7 @@ def run(
     memory: str = "DDR4-3200",
     dataset: str = "Kodak24",
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig17Result:
     fps: dict[str, dict[tuple[int, int], float]] = {}
@@ -60,10 +62,21 @@ def run(
             res = simulate_network(
                 model, "Diffy", scheme=scheme, memory=memory,
                 resolution=resolution, dataset_name=dataset,
-                trace_count=trace_count, seed=seed,
+                trace_count=trace_count, crop=crop, seed=seed,
             )
             fps[model][resolution] = res.fps
     return Fig17Result(fps=fps, resolutions=resolutions)
+
+
+def compute(profile: Profile | None = None) -> Fig17Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig17Result) -> str:

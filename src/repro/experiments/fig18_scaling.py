@@ -24,6 +24,7 @@ from repro.experiments.common import (
     DEFAULT_TRACE_COUNT,
     format_table,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 #: Tile counts to consider, smallest first.
@@ -62,7 +63,7 @@ class Fig18Result:
 
 
 def _min_config(
-    model: str, scheme: str, dataset: str, trace_count: int, seed: int
+    model: str, scheme: str, dataset: str, trace_count: int, crop: int | None, seed: int
 ) -> Optional[Fig18Cell]:
     for tiles in TILE_SWEEP:
         config = dataclasses.replace(
@@ -71,7 +72,7 @@ def _min_config(
         # Check compute feasibility with ideal memory first (cheap pruning):
         ideal = simulate_network(
             model, "Diffy", scheme=scheme, memory="Ideal", config=config,
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
         if ideal.fps < TARGET_FPS:
             continue
@@ -79,7 +80,7 @@ def _min_config(
             res = simulate_network(
                 model, "Diffy", scheme=scheme,
                 memory=memory_system(tech, channels), config=config,
-                dataset_name=dataset, trace_count=trace_count, seed=seed,
+                dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
             )
             if res.fps >= TARGET_FPS:
                 return Fig18Cell(
@@ -93,15 +94,27 @@ def run(
     schemes: tuple[str, ...] = FIG18_SCHEMES,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig18Result:
     grid: dict[str, dict[str, Optional[Fig18Cell]]] = {}
     for model in models:
         grid[model] = {
-            scheme: _min_config(model, scheme, dataset, trace_count, seed)
+            scheme: _min_config(model, scheme, dataset, trace_count, crop, seed)
             for scheme in schemes
         }
     return Fig18Result(grid=grid)
+
+
+def compute(profile: Profile | None = None) -> Fig18Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig18Result) -> str:

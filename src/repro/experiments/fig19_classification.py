@@ -21,6 +21,7 @@ from repro.experiments.common import (
     geomean,
     traces_for,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 #: Classification inputs: ImageNet-scale frames.
@@ -38,6 +39,13 @@ class Fig19Row:
 @dataclass(frozen=True)
 class Fig19Result:
     rows: tuple[Fig19Row, ...]
+
+    #: Derived metrics the golden serializer records alongside the fields.
+    __golden_properties__ = (
+        "mean_over_vaa",
+        "mean_over_pra",
+        "mean_first_layer_over_pra",
+    )
 
     @property
     def mean_over_vaa(self) -> float:
@@ -58,19 +66,20 @@ def run(
     trace_count: int = DEFAULT_TRACE_COUNT,
     scheme: str = "DeltaD16",
     memory: str = "DDR4-3200",
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig19Result:
     rows = []
     for model in models:
         kw = dict(
             dataset_name=dataset, trace_count=trace_count,
-            resolution=CLS_RESOLUTION, seed=seed, memory=memory,
+            resolution=CLS_RESOLUTION, crop=crop, seed=seed, memory=memory,
         )
         vaa = simulate_network(model, "VAA", scheme="NoCompression", **kw)
         pra = simulate_network(model, "PRA", scheme=scheme, **kw)
         diffy = simulate_network(model, "Diffy", scheme=scheme, **kw)
         # Early-layer comparison straight from the cycle models.
-        traces = traces_for(model, dataset, trace_count, seed=seed)
+        traces = traces_for(model, dataset, trace_count, crop, seed=seed)
         first = traces[0][0]
         pra_first = PRAModel().layer_cycles(first).cycles
         diffy_first = DiffyModel().layer_cycles(first).cycles
@@ -83,6 +92,17 @@ def run(
             )
         )
     return Fig19Result(rows=tuple(rows))
+
+
+def compute(profile: Profile | None = None) -> Fig19Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CLASSIFICATION_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig19Result) -> str:

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     format_table,
     geomean,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 #: Weight-sparsity sweep of Fig 20.
@@ -45,13 +46,14 @@ def run(
     memory: str = "DDR4-3200",
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Fig20Result:
     speedups: dict[str, dict[float, float]] = {}
     for model in models:
         diffy = simulate_network(
             model, "Diffy", scheme="DeltaD16", memory=memory,
-            dataset_name=dataset, trace_count=trace_count, seed=seed,
+            dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
         )
         speedups[model] = {}
         for sparsity in sparsities:
@@ -60,10 +62,21 @@ def run(
             )
             scnn = simulate_network(
                 model, accel, scheme="RLEz", memory=memory,
-                dataset_name=dataset, trace_count=trace_count, seed=seed,
+                dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
             )
             speedups[model][sparsity] = diffy.speedup_over(scnn)
     return Fig20Result(speedups=speedups, sparsities=sparsities)
+
+
+def compute(profile: Profile | None = None) -> Fig20Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Fig20Result) -> str:

@@ -1,0 +1,83 @@
+"""Parameter profiles that scale every experiment up or down together.
+
+A :class:`Profile` bundles the knobs shared by all experiment modules —
+trace count, crop size, seed, and an optional model subset — so the same
+`compute()` entry point can run at CI scale (small crops, few traces,
+committed goldens) or at paper scale (the module defaults used for the
+reported numbers).  The regression harness keys goldens by
+``profile.name``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.experiments.common import DEFAULT_TRACE_COUNT
+from repro.utils.rng import DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One named scale at which every experiment can run.
+
+    Attributes
+    ----------
+    name:
+        Key used for golden storage (``goldens/<name>/<experiment>.json``).
+    trace_count:
+        Traces per model (experiments with their own default still obey
+        the profile so results stay comparable across experiments).
+    crop:
+        Input crop edge in pixels; ``None`` keeps each model's default
+        ``trace_crop`` (and each experiment's own crop default).
+    seed:
+        Root RNG seed for weights, inputs, and calibration.
+    models:
+        Optional model-name subset; ``None`` keeps each experiment's own
+        model list (the paper's).  Mainly for tiny test profiles.
+    """
+
+    name: str
+    trace_count: int = DEFAULT_TRACE_COUNT
+    crop: int | None = None
+    seed: int = DEFAULT_SEED
+    models: tuple[str, ...] | None = None
+
+    def pick_models(self, default: "tuple[str, ...]") -> "tuple[str, ...]":
+        """The model list this profile runs: its subset, else ``default``."""
+        return self.models if self.models is not None else default
+
+    def pick_crop(self, default: int | None = None) -> int | None:
+        """The crop this profile uses, else an experiment's own default."""
+        return self.crop if self.crop is not None else default
+
+    def describe(self) -> dict:
+        """JSON-friendly description embedded in golden files."""
+        return asdict(self)
+
+
+#: Reduced scale for CI: small crops keep tracing cheap while preserving
+#: the HD-statistics properties the paper's claims rest on (Fig 17 shows
+#: they weaken but survive at lower resolution).
+CI_PROFILE = Profile(name="ci", trace_count=DEFAULT_TRACE_COUNT, crop=48)
+
+#: Paper scale: every experiment module's own defaults (model-default
+#: crops, default trace counts) — what `run_all` reports.
+FULL_PROFILE = Profile(name="full", trace_count=DEFAULT_TRACE_COUNT, crop=None)
+
+#: Named profiles accepted by the regression CLI.
+PROFILES: dict = {p.name: p for p in (CI_PROFILE, FULL_PROFILE)}
+
+
+def resolve_profile(profile: Profile | str | None) -> Profile:
+    """Normalize a profile argument: object, registered name, or None (CI)."""
+    if profile is None:
+        return CI_PROFILE
+    if isinstance(profile, Profile):
+        return profile
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {profile!r}; registered: {sorted(PROFILES)}"
+        ) from None

@@ -4,7 +4,9 @@
     python -m repro.experiments.run_all fig11 t5   # substring filters
 
 The heavy experiments share cached traces, so the full sweep is much
-cheaper than the sum of its parts.
+cheaper than the sum of its parts.  The experiment list itself lives in
+:mod:`repro.regression.registry`, shared with the golden-result checker
+so the two can never drift apart.
 """
 
 from __future__ import annotations
@@ -13,57 +15,11 @@ import sys
 import time
 from typing import Callable
 
-from repro.experiments import (
-    ablations,
-    ext_temporal,
-    fig01_entropy,
-    fig02_heatmaps,
-    fig03_term_cdf,
-    fig04_potential,
-    fig05_footprint,
-    fig11_speedup,
-    fig12_utilization,
-    fig13_fps_hd,
-    fig14_traffic,
-    fig15_memnodes,
-    fig16_tiling,
-    fig17_lowres,
-    fig18_scaling,
-    fig19_classification,
-    fig20_scnn,
-    table1_models,
-    table3_precisions,
-    table4_configs,
-    table5_onchip,
-    table6_power,
-    table7_area,
-)
+from repro.regression.registry import EXPERIMENT_SPECS
 
 #: Ordered registry: id -> callable printing that experiment's report.
 EXPERIMENTS: dict[str, Callable[[], None]] = {
-    "table1": table1_models.main,
-    "fig01": fig01_entropy.main,
-    "fig02": fig02_heatmaps.main,
-    "fig03": fig03_term_cdf.main,
-    "fig04": fig04_potential.main,
-    "fig05": fig05_footprint.main,
-    "table3": table3_precisions.main,
-    "table4": table4_configs.main,
-    "fig11": fig11_speedup.main,
-    "fig12": fig12_utilization.main,
-    "fig13": fig13_fps_hd.main,
-    "table5": table5_onchip.main,
-    "fig14": fig14_traffic.main,
-    "fig15": fig15_memnodes.main,
-    "table6": table6_power.main,
-    "table7": table7_area.main,
-    "fig16": fig16_tiling.main,
-    "fig17": fig17_lowres.main,
-    "fig18": fig18_scaling.main,
-    "fig19": fig19_classification.main,
-    "fig20": fig20_scnn.main,
-    "ablations": ablations.main,
-    "ext_temporal": ext_temporal.main,
+    exp_id: spec.main for exp_id, spec in EXPERIMENT_SPECS.items()
 }
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import CI_MODEL_NAMES, format_table
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.models.registry import build_model
 from repro.utils.rng import DEFAULT_SEED
 
@@ -48,6 +49,12 @@ def run(models: tuple[str, ...] = CI_MODEL_NAMES, seed: int = DEFAULT_SEED) -> l
             )
         )
     return rows
+
+
+def compute(profile: Profile | None = None) -> list[Table1Row]:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(models=p.pick_models(CI_MODEL_NAMES), seed=p.seed)
 
 
 def format_result(rows: list[Table1Row]) -> str:

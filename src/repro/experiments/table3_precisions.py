@@ -19,6 +19,7 @@ from repro.experiments.common import (
     format_table,
     traces_for,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 #: Paper Table III (per-layer precision strings) for side-by-side display.
@@ -52,13 +53,25 @@ def run(
     models: tuple[str, ...] = CI_MODEL_NAMES,
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> list[Table3Row]:
     rows = []
     for model in models:
-        traces = traces_for(model, dataset, trace_count, seed=seed)
+        traces = traces_for(model, dataset, trace_count, crop, seed=seed)
         rows.append(Table3Row(network=model, precisions=tuple(imap_precisions(traces))))
     return rows
+
+
+def compute(profile: Profile | None = None) -> list[Table3Row]:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(rows: list[Table3Row]) -> str:

@@ -8,10 +8,17 @@ from __future__ import annotations
 
 from repro.arch.config import TABLE4_CONFIGS, AcceleratorConfig
 from repro.experiments.common import format_table
+from repro.experiments.profiles import Profile, resolve_profile
 
 
 def run() -> dict[str, AcceleratorConfig]:
     return dict(TABLE4_CONFIGS)
+
+
+def compute(profile: Profile | None = None) -> dict[str, AcceleratorConfig]:
+    """Static configuration table; the profile carries no knobs for it."""
+    resolve_profile(profile)
+    return run()
 
 
 def format_result(configs: dict[str, AcceleratorConfig]) -> str:

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     round_up_pow2,
     traces_for,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.models.registry import build_model, prepare_model
 from repro.utils.rng import DEFAULT_SEED
 
@@ -49,18 +50,30 @@ def run(
     trace_count: int = DEFAULT_TRACE_COUNT,
     resolution: tuple[int, int] = (1080, 1920),
     schemes: tuple[str, ...] = TABLE5_SCHEMES,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Table5Result:
     am: dict[str, float] = {s: 0.0 for s in schemes}
     for model in models:
         net = prepare_model(model, seed)
-        traces = traces_for(model, dataset, trace_count, seed=seed)
+        traces = traces_for(model, dataset, trace_count, crop, seed=seed)
         for scheme in schemes:
             req = am_requirement_bytes(net, traces, scheme, *resolution)
             am[scheme] = max(am[scheme], req)
     # WM: the largest per-layer filter set, double buffered (Section III-F).
     wm = 2.0 * max(build_model(m, seed).max_layer_filter_bytes() for m in models)
     return Table5Result(am_bytes=am, wm_bytes=wm, resolution=resolution)
+
+
+def compute(profile: Profile | None = None) -> Table5Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
+    )
 
 
 def format_result(result: Table5Result) -> str:

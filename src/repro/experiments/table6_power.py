@@ -18,6 +18,7 @@ from repro.experiments.common import (
     format_table,
     geomean,
 )
+from repro.experiments.profiles import Profile, resolve_profile
 from repro.utils.rng import DEFAULT_SEED
 
 
@@ -37,6 +38,7 @@ def run(
     memory: str = "DDR4-3200",
     dataset: str = DEFAULT_DATASET,
     trace_count: int = DEFAULT_TRACE_COUNT,
+    crop: int | None = None,
     seed: int = DEFAULT_SEED,
 ) -> Table6Result:
     energy = EnergyModel()
@@ -46,11 +48,11 @@ def run(
         for model in models:
             vaa = simulate_network(
                 model, "VAA", scheme="NoCompression", memory=memory,
-                dataset_name=dataset, trace_count=trace_count, seed=seed,
+                dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
             )
             res = simulate_network(
                 model, accel, scheme=scheme, memory=memory,
-                dataset_name=dataset, trace_count=trace_count, seed=seed,
+                dataset_name=dataset, trace_count=trace_count, crop=crop, seed=seed,
             )
             ratios.append(res.speedup_over(vaa))
         speedups[accel] = geomean(ratios)
@@ -63,6 +65,17 @@ def run(
     }
     return Table6Result(
         breakdowns=breakdowns, speedups=speedups, efficiencies=efficiencies
+    )
+
+
+def compute(profile: Profile | None = None) -> Table6Result:
+    """Profile-scaled entry point for the golden-regression harness."""
+    p = resolve_profile(profile)
+    return run(
+        models=p.pick_models(CI_MODEL_NAMES),
+        trace_count=p.trace_count,
+        crop=p.crop,
+        seed=p.seed,
     )
 
 

@@ -10,6 +10,7 @@ from dataclasses import dataclass
 
 from repro.arch.energy import EnergyModel
 from repro.experiments.common import format_table
+from repro.experiments.profiles import Profile, resolve_profile
 
 
 @dataclass(frozen=True)
@@ -27,6 +28,12 @@ def run() -> Table7Result:
     }
     ratios = {accel: energy.area_ratio(accel) for accel in ("Diffy", "PRA")}
     return Table7Result(breakdowns=breakdowns, ratios=ratios)
+
+
+def compute(profile: Profile | None = None) -> Table7Result:
+    """Static layout-model table; the profile carries no knobs for it."""
+    resolve_profile(profile)
+    return run()
 
 
 def format_result(result: Table7Result) -> str:

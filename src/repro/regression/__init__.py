@@ -1,0 +1,36 @@
+"""Golden-results regression harness.
+
+Turns every experiment in :mod:`repro.experiments` into a
+machine-checkable artifact:
+
+- :mod:`repro.regression.serialize` — canonical JSON for experiment
+  results (sorted keys, fixed significant digits, numpy-aware),
+- :mod:`repro.regression.goldens` — load/store committed goldens under
+  ``goldens/<profile>/<experiment>.json``,
+- :mod:`repro.regression.diff` — tolerance-aware comparison with
+  per-field-pattern float tolerances and readable reports,
+- :mod:`repro.regression.registry` — the experiment id -> compute map,
+- ``python -m repro.regression {check,update,list}`` — the CLI gate
+  wired into CI (exit 0 clean, 1 mismatch, 2 missing golden).
+"""
+
+from repro.regression.diff import Deviation, DiffConfig, ToleranceRule, compare, format_report
+from repro.regression.goldens import golden_path, goldens_root, read_golden, write_golden
+from repro.regression.registry import EXPERIMENT_SPECS, ExperimentSpec
+from repro.regression.serialize import canonical_dumps, to_jsonable
+
+__all__ = [
+    "Deviation",
+    "DiffConfig",
+    "ToleranceRule",
+    "compare",
+    "format_report",
+    "golden_path",
+    "goldens_root",
+    "read_golden",
+    "write_golden",
+    "EXPERIMENT_SPECS",
+    "ExperimentSpec",
+    "canonical_dumps",
+    "to_jsonable",
+]

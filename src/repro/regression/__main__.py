@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.regression {check,update,list}``."""
+
+import sys
+
+from repro.regression.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Command-line interface for the golden-results regression harness.
+
+    python -m repro.regression check  [ids...] [--profile ci]
+    python -m repro.regression update [ids...] [--profile ci]
+    python -m repro.regression list   [--profile ci]
+
+Exit codes for ``check``: 0 every selected experiment matches its
+golden, 1 at least one mismatched, 2 no mismatches but at least one
+golden is missing (run ``update`` and commit the files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments.profiles import PROFILES, resolve_profile
+from repro.regression.diff import DiffConfig, ToleranceRule, compare, format_report
+from repro.regression.goldens import golden_path, read_golden, write_golden
+from repro.regression.registry import EXPERIMENT_SPECS, select_specs
+from repro.regression.serialize import canonical_dumps, to_jsonable
+
+EXIT_OK = 0
+EXIT_MISMATCH = 1
+EXIT_MISSING = 2
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.regression",
+        description="Check or refresh the committed golden results.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "ids", nargs="*",
+            help="experiment id substrings (default: all experiments)",
+        )
+        p.add_argument(
+            "--profile", default="ci", choices=sorted(PROFILES),
+            help="parameter profile the goldens are keyed by (default: ci)",
+        )
+        p.add_argument(
+            "--goldens-dir", default=None,
+            help="override the goldens directory (default: repo goldens/)",
+        )
+
+    check = sub.add_parser("check", help="compare fresh results against goldens")
+    common(check)
+    check.add_argument(
+        "--default-rtol", type=float, default=DiffConfig.default_rtol,
+        help="relative tolerance for floats without a matching --tol rule",
+    )
+    check.add_argument(
+        "--tol", action="append", default=[], metavar="PATTERN=RTOL",
+        help="per-field tolerance, e.g. --tol 'rows/*/pra/*=1e-3' (repeatable)",
+    )
+
+    update = sub.add_parser("update", help="recompute and rewrite goldens")
+    common(update)
+
+    listing = sub.add_parser("list", help="show experiments and golden status")
+    common(listing)
+    return parser
+
+
+def _parse_rules(specs: "list[str]") -> "tuple[ToleranceRule, ...]":
+    rules = []
+    for spec in specs:
+        pattern, sep, rtol = spec.rpartition("=")
+        if not sep or not pattern:
+            raise SystemExit(f"bad --tol {spec!r}; expected PATTERN=RTOL")
+        rules.append(ToleranceRule(pattern=pattern, rtol=float(rtol)))
+    return tuple(rules)
+
+
+def _document(exp_id: str, profile) -> dict:
+    """Golden document for one freshly-computed experiment."""
+    result = EXPERIMENT_SPECS[exp_id].compute(profile)
+    return {
+        "experiment": exp_id,
+        "profile": profile.describe(),
+        "result": to_jsonable(result),
+    }
+
+
+def _select_or_die(ids: "list[str]"):
+    selected = select_specs(ids)
+    if not selected:
+        print(
+            f"no experiment matches {ids}; available: {list(EXPERIMENT_SPECS)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_MISSING)
+    return selected
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    profile = resolve_profile(args.profile)
+    config = DiffConfig(
+        rules=_parse_rules(args.tol), default_rtol=args.default_rtol
+    )
+    selected = _select_or_die(args.ids)
+    missing, mismatched = [], []
+    for exp_id in selected:
+        golden = read_golden(exp_id, profile.name, args.goldens_dir)
+        if golden is None:
+            missing.append(exp_id)
+            print(
+                f"{exp_id}: MISSING golden "
+                f"({golden_path(exp_id, profile.name, args.goldens_dir)})"
+            )
+            continue
+        start = time.time()
+        actual = json.loads(canonical_dumps(_document(exp_id, profile)))
+        deviations = compare(golden, actual, config)
+        report = format_report(exp_id, deviations)
+        print(f"{report}  [{time.time() - start:.1f}s]")
+        if deviations:
+            mismatched.append(exp_id)
+    total = len(selected)
+    print(
+        f"\nchecked {total} experiment(s) at profile {profile.name!r}: "
+        f"{total - len(missing) - len(mismatched)} ok, "
+        f"{len(mismatched)} mismatched, {len(missing)} missing"
+    )
+    if mismatched:
+        return EXIT_MISMATCH
+    if missing:
+        return EXIT_MISSING
+    return EXIT_OK
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    profile = resolve_profile(args.profile)
+    for exp_id in _select_or_die(args.ids):
+        start = time.time()
+        text = canonical_dumps(_document(exp_id, profile))
+        path = write_golden(exp_id, profile.name, text, args.goldens_dir)
+        print(f"{exp_id}: wrote {path}  [{time.time() - start:.1f}s]")
+    return EXIT_OK
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    profile = resolve_profile(args.profile)
+    selected = _select_or_die(args.ids)
+    for exp_id, spec in selected.items():
+        path = golden_path(exp_id, profile.name, args.goldens_dir)
+        status = "golden" if path.is_file() else "MISSING"
+        print(f"{exp_id:14s} {status:8s} repro.experiments.{spec.module_name}")
+    return EXIT_OK
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _parser().parse_args(argv)
+    handler = {"check": cmd_check, "update": cmd_update, "list": cmd_list}
+    return handler[args.command](args)

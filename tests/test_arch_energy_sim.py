@@ -5,7 +5,6 @@ import pytest
 from repro.arch.energy import AREA_TABLE, POWER_TABLE, EnergyModel
 from repro.arch.sim import (
     HD_RESOLUTION,
-    NetworkResult,
     collect_traces,
     model_for,
     simulate_network,

@@ -24,7 +24,6 @@ from repro.compression.schemes import (
 )
 from repro.compression.traffic import network_traffic, normalized_traffic
 from repro.models.registry import prepare_model
-from repro.utils.rng import rng_for
 
 
 def _map(values):

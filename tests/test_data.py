@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.datasets import TABLE2_DATASETS, dataset, list_datasets
+from repro.data.datasets import dataset, list_datasets
 from repro.data.synthesis import PROFILES, ImageProfile, synthesize_image
 from repro.utils.rng import rng_for
 

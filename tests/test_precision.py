@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core.precision import (
     HEADER_BITS,
     MAX_PRECISION,
-    GroupPrecisionEncoding,
     group_precisions,
     profile_network_precisions,
     profiled_precision,

@@ -1,7 +1,5 @@
 """Tests for resolution scaling (conv_layer_shapes)."""
 
-import pytest
-
 from repro.models.registry import prepare_model
 from repro.nn.shapes import conv_layer_shapes
 
