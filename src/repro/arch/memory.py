@@ -11,7 +11,11 @@ double-buffered AM (Section III-F).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
 
 from repro.utils.validation import check_positive
 
@@ -69,6 +73,10 @@ class MemorySystem:
     technology: MemoryTechnology
     channels: int = 1
     efficiency: float = DEFAULT_EFFICIENCY
+    #: Optional fault-injection hook applied by :meth:`read_words` — models
+    #: bit errors in stored activation words (see :mod:`repro.faults`).
+    #: ``None`` (the default) keeps the memory ideal, as everywhere else.
+    fault_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None
 
     def __post_init__(self) -> None:
         check_positive("channels", self.channels)
@@ -99,6 +107,25 @@ class MemorySystem:
     def transfer_energy_j(self, num_bytes: float) -> float:
         """Energy to move ``num_bytes`` across the interface."""
         return num_bytes * 8 * self.technology.energy_pj_per_bit * 1e-12
+
+    def read_words(self, words: np.ndarray) -> np.ndarray:
+        """Model reading stored activation words back from this memory.
+
+        A fault-free system returns the words unchanged.  When a
+        ``fault_hook`` is configured (the fault-injection campaign's
+        "memory" site), the hook receives the word array and returns the
+        possibly-corrupted copy; the input is never mutated.
+        """
+        arr = np.asarray(words)
+        if self.fault_hook is None:
+            return arr
+        return self.fault_hook(arr)
+
+    def with_fault_hook(
+        self, hook: Optional[Callable[[np.ndarray], np.ndarray]]
+    ) -> "MemorySystem":
+        """A copy of this system with ``fault_hook`` replaced."""
+        return dataclasses.replace(self, fault_hook=hook)
 
 
 #: An effectively infinite memory system (the "Ideal" bars of Fig 11).

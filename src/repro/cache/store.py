@@ -22,8 +22,12 @@ Design points:
   ``purge()`` helper deletes them.
 - **Atomicity** — payloads are pickled to a temp file and ``os.replace``d
   into place, so concurrent processes (the sweep runner's workers) never
-  observe a torn entry.  Corrupt or unreadable entries are treated as
-  misses and rewritten.
+  observe a torn entry.
+- **Quarantine** — a corrupt or unreadable entry is treated as a miss,
+  but instead of being silently overwritten it is moved to
+  ``<root>/quarantine/<namespace>/<digest>.pkl`` for post-mortem (torn
+  writes, disk corruption, schema bugs all leave evidence), and counted
+  in :func:`cache_stats` as ``quarantined``.
 - **Observability** — hits/misses/stores and load/compute timings feed
   :mod:`repro.utils.timing`; ``REPRO_PROFILE=1`` prints them at exit.
 
@@ -78,6 +82,7 @@ class CacheStats:
     stores: int = 0
     bypasses: int = 0
     errors: int = 0
+    quarantined: int = 0
 
 
 _STATS = CacheStats()
@@ -121,6 +126,28 @@ def _entry_path(namespace: str, digest: str) -> Path:
     return cache_root() / namespace / digest[:2] / f"{digest}.pkl"
 
 
+def _quarantine_path(namespace: str, entry: Path) -> Path:
+    return cache_root() / "quarantine" / namespace / entry.name
+
+
+def _quarantine(namespace: str, entry: Path) -> None:
+    """Move a corrupt entry aside (best-effort) instead of deleting it.
+
+    Keeps the namespace and digest in the quarantined filename so the
+    offending artifact can be identified and inspected later.  Any
+    filesystem trouble degrades to leaving the entry in place — the next
+    successful store overwrites it anyway.
+    """
+    target = _quarantine_path(namespace, entry)
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(entry, target)
+        _STATS.quarantined += 1
+        timing.count(f"cache.{namespace}.quarantined")
+    except OSError:
+        _STATS.errors += 1
+
+
 def fetch_or_compute(
     namespace: str, key: tuple, compute: Callable[[], Any]
 ) -> Any:
@@ -146,9 +173,11 @@ def fetch_or_compute(
             timing.count(f"cache.{namespace}.hit")
             return value
         except Exception:
-            # Torn/corrupt/incompatible entry: fall through and rewrite.
+            # Torn/corrupt/incompatible entry: quarantine it for
+            # post-mortem, then fall through and recompute.
             _STATS.errors += 1
             timing.count(f"cache.{namespace}.error")
+            _quarantine(namespace, path)
 
     _STATS.misses += 1
     timing.count(f"cache.{namespace}.miss")

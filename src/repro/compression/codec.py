@@ -27,8 +27,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compression.schemes import RLE_COUNT_BITS, _RLE_SPAN
-from repro.core.precision import HEADER_BITS, group_precisions
-from repro.utils.validation import check_positive
+from repro.core.precision import HEADER_BITS, MAX_PRECISION, group_precisions
+from repro.utils.validation import (
+    check_dtype,
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_shape,
+)
 
 
 class BitWriter:
@@ -88,6 +94,50 @@ class BitReader:
         return self._pos
 
 
+def _as_int_stream(name: str, values: np.ndarray, signed: bool) -> np.ndarray:
+    """Validate and flatten a codec input to an int64 stream.
+
+    Uniform ``ValueError``s for adversarial inputs: wrong dtypes, NaN or
+    infinity, non-integral floats, and values outside the 16-bit range the
+    hardware word width can represent.  Float arrays are accepted only when
+    exactly integral (legacy callers pass integer-valued float maps).
+    """
+    arr = check_dtype(name, values, kinds="iuf")
+    check_shape(name, arr, min_ndim=1)
+    if arr.dtype.kind == "f":
+        check_finite(name, arr)
+        if arr.size and not (arr == np.floor(arr)).all():
+            raise ValueError(f"{name} must contain integral values, got fractional floats")
+    flat = arr.astype(np.int64, copy=False).reshape(-1)
+    if flat.size:
+        lo, hi = int(flat.min()), int(flat.max())
+        if signed:
+            if lo < -(1 << (MAX_PRECISION - 1)) or hi >= (1 << (MAX_PRECISION - 1)):
+                raise ValueError(
+                    f"{name} exceeds the signed {MAX_PRECISION}-bit range: "
+                    f"[{lo}, {hi}]"
+                )
+        else:
+            if lo < 0:
+                raise ValueError(f"{name} must be non-negative for unsigned encoding, min is {lo}")
+            if hi >= (1 << MAX_PRECISION):
+                raise ValueError(
+                    f"{name} exceeds the unsigned {MAX_PRECISION}-bit range: max is {hi}"
+                )
+    return flat
+
+
+def _check_encoded(encoded: Encoded) -> None:
+    """Validate the self-consistency of an :class:`Encoded` container."""
+    check_nonnegative("encoded.bits", encoded.bits)
+    check_nonnegative("encoded.values", encoded.values)
+    if len(encoded.data) * 8 < encoded.bits:
+        raise ValueError(
+            f"encoded stream is truncated: {len(encoded.data)} bytes cannot "
+            f"hold {encoded.bits} bits"
+        )
+
+
 def _to_twos_complement(value: int, width: int) -> int:
     return value & ((1 << width) - 1)
 
@@ -116,7 +166,7 @@ class GroupCodec:
 
     def encode(self, values: np.ndarray) -> Encoded:
         """Pack a flat integer stream; tail groups are zero padded."""
-        flat = np.asarray(values, dtype=np.int64).reshape(-1)
+        flat = _as_int_stream("values", values, signed=self.signed)
         enc = group_precisions(flat, self.group_size, signed=self.signed)
         writer = BitWriter()
         padded = np.zeros(len(enc.precisions) * self.group_size, dtype=np.int64)
@@ -137,22 +187,45 @@ class GroupCodec:
             )
         return Encoded(data=writer.getvalue(), bits=bits, values=int(flat.size))
 
-    def decode(self, encoded: Encoded) -> np.ndarray:
-        """Unpack back to the original flat stream (padding stripped)."""
+    def decode(self, encoded: Encoded, strict: bool = True) -> np.ndarray:
+        """Unpack back to the original flat stream (padding stripped).
+
+        With ``strict=True`` (the default) any inconsistency — a truncated
+        buffer, or a bit count that disagrees with the accounting — raises
+        ``ValueError``: the stream is not what :meth:`encode` produced.
+
+        With ``strict=False`` the decoder behaves like the hardware unit it
+        models: it decodes whatever arrives, tolerating corrupted headers
+        that desynchronize the stream.  Values past the point of exhaustion
+        come back as zeros and no size cross-check is performed.  This is
+        the entry point the fault-injection campaign drives
+        (:mod:`repro.faults`).
+        """
+        if strict:
+            _check_encoded(encoded)
         reader = BitReader(encoded.data)
         out: list[int] = []
         groups = -(-encoded.values // self.group_size)
-        for _ in range(groups):
-            width = reader.read(HEADER_BITS) + 1
-            for _ in range(self.group_size):
-                raw = reader.read(width)
-                out.append(
-                    _from_twos_complement(raw, width) if self.signed else raw
-                )
-        if reader.bits_read != encoded.bits:
-            raise AssertionError(
+        try:
+            for _ in range(groups):
+                width = reader.read(HEADER_BITS) + 1
+                for _ in range(self.group_size):
+                    raw = reader.read(width)
+                    out.append(
+                        _from_twos_complement(raw, width) if self.signed else raw
+                    )
+        except EOFError:
+            if strict:
+                raise ValueError(
+                    f"corrupt stream: exhausted after {reader.bits_read} of "
+                    f"{encoded.bits} bits"
+                ) from None
+        if strict and reader.bits_read != encoded.bits:
+            raise ValueError(
                 f"decoded {reader.bits_read} bits, expected {encoded.bits}"
             )
+        if len(out) < encoded.values:
+            out.extend([0] * (encoded.values - len(out)))
         return np.array(out[: encoded.values], dtype=np.int64)
 
 
@@ -168,10 +241,7 @@ class RLEZeroCodec:
     TOKEN_BITS = 16 + RLE_COUNT_BITS
 
     def encode(self, values: np.ndarray) -> Encoded:
-        flat = np.asarray(values, dtype=np.int64).reshape(-1)
-        lo, hi = -(1 << 15), (1 << 15) - 1
-        if flat.size and (flat.min() < lo or flat.max() > hi):
-            raise ValueError("RLEz encodes 16-bit signed values")
+        flat = _as_int_stream("values", values, signed=True)
         writer = BitWriter()
         pending_zeros = 0
 
@@ -195,14 +265,23 @@ class RLEZeroCodec:
             pending_zeros -= chunk
         return Encoded(data=writer.getvalue(), bits=len(writer), values=int(flat.size))
 
-    def decode(self, encoded: Encoded) -> np.ndarray:
+    def decode(self, encoded: Encoded, strict: bool = True) -> np.ndarray:
+        if strict:
+            _check_encoded(encoded)
         reader = BitReader(encoded.data)
         out: list[int] = []
-        while reader.bits_read < encoded.bits:
-            skip = reader.read(RLE_COUNT_BITS)
-            value = _from_twos_complement(reader.read(16), 16)
-            out.extend([0] * skip)
-            out.append(value)
+        try:
+            while reader.bits_read < encoded.bits:
+                skip = reader.read(RLE_COUNT_BITS)
+                value = _from_twos_complement(reader.read(16), 16)
+                out.extend([0] * skip)
+                out.append(value)
+        except EOFError:
+            if strict:
+                raise ValueError(
+                    f"corrupt stream: exhausted after {reader.bits_read} of "
+                    f"{encoded.bits} bits"
+                ) from None
         # Trailing stored zeros may have been emitted as escape values;
         # the value count disambiguates.
         if len(out) < encoded.values:

@@ -7,12 +7,19 @@ The heavy experiments share cached traces, so the full sweep is much
 cheaper than the sum of its parts.  The experiment list itself lives in
 :mod:`repro.regression.registry`, shared with the golden-result checker
 so the two can never drift apart.
+
+One broken experiment must not hide the other twenty reports: failures
+are caught per experiment, the run keeps going, and a summary with full
+tracebacks prints at the end.  The exit code is the number of failed
+experiments (0 = all passed), so scripting ``run_all`` stays honest.
 """
 
 from __future__ import annotations
 
 import sys
 import time
+import traceback
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.regression.registry import EXPERIMENT_SPECS
@@ -23,7 +30,40 @@ EXPERIMENTS: dict[str, Callable[[], None]] = {
 }
 
 
-def main(argv: list[str] | None = None) -> None:
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """One experiment that raised, with enough context to debug it."""
+
+    name: str
+    error: str
+    traceback: str
+
+
+def run_selected(
+    selected: "dict[str, Callable[[], None]]",
+) -> "list[ExperimentFailure]":
+    """Run each experiment, keep going on failure, return the failures."""
+    failures: list[ExperimentFailure] = []
+    for name, fn in selected.items():
+        start = time.time()
+        print(f"\n{'=' * 72}\n# {name}\n{'=' * 72}")
+        try:
+            fn()
+        except Exception as exc:  # noqa: BLE001 - keep-going is the contract
+            failures.append(
+                ExperimentFailure(
+                    name=name,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback.format_exc(),
+                )
+            )
+            print(f"[{name} FAILED after {time.time() - start:.1f}s: {exc!r}]")
+        else:
+            print(f"[{name} done in {time.time() - start:.1f}s]")
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
     filters = [f.lower() for f in (argv if argv is not None else sys.argv[1:])]
     selected = {
         name: fn
@@ -32,13 +72,20 @@ def main(argv: list[str] | None = None) -> None:
     }
     if not selected:
         print(f"no experiment matches {filters}; available: {list(EXPERIMENTS)}")
-        return
-    for name, fn in selected.items():
-        start = time.time()
-        print(f"\n{'=' * 72}\n# {name}\n{'=' * 72}")
-        fn()
-        print(f"[{name} done in {time.time() - start:.1f}s]")
+        return 2
+    failures = run_selected(selected)
+    if failures:
+        print(f"\n{'=' * 72}\n# FAILURES ({len(failures)}/{len(selected)})\n{'=' * 72}")
+        for f in failures:
+            print(f"\n--- {f.name}: {f.error}\n{f.traceback}")
+        print(
+            f"{len(failures)} of {len(selected)} experiments failed: "
+            f"{[f.name for f in failures]}"
+        )
+    else:
+        print(f"\nall {len(selected)} experiments passed")
+    return len(failures)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

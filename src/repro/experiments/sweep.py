@@ -9,42 +9,112 @@ each distinct model's traces (one task per model, the expensive part),
 so the grid fan-out that follows hits the disk cache instead of
 re-tracing per worker.
 
+Resilience (a sweep is the longest-running thing in this repo, and it
+must survive the failures long runs meet):
+
+- **Per-task timeout and bounded retry** — every grid point gets
+  ``RetryPolicy.attempts`` tries with exponential backoff; a pooled task
+  that times out or whose worker dies is retried serially.  Points that
+  exhaust the budget become :class:`SweepFailure` rows on the result
+  instead of aborting the grid.
+- **Pool degradation** — if the process pool cannot be created or dies
+  (``BrokenProcessPool``), the runner falls back to serial execution.
+- **Crash-safe checkpointing** — with ``checkpoint=<path>`` every
+  completed row is appended to a JSONL file as it finishes;
+  ``resume=True`` reloads completed rows (tolerating a torn final line
+  from a crash) and re-runs only the missing points.  A meta header pins
+  the grid settings so a stale checkpoint cannot silently poison a
+  different sweep.
+
 Serial execution (``max_workers=0``) runs everything in-process — the
 right choice inside tests, sandboxes without ``fork``, or when the cache
-is already warm and the grid is small.  If the pool cannot be created or
-dies, the runner degrades to serial rather than failing the sweep.
+is already warm and the grid is small.
 
 CLI::
 
     python -m repro.experiments.sweep --models DnCNN FFDNet \
-        --accelerators VAA PRA Diffy --schemes DeltaD16 --workers 4
+        --accelerators VAA PRA Diffy --schemes DeltaD16 --workers 4 \
+        --checkpoint sweep.jsonl --resume
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import itertools
+import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence
 
 from repro.arch.sim import (
     DEFAULT_MEMORY,
     DEFAULT_SCHEME,
     HD_RESOLUTION,
+    LayerResult,
     NetworkResult,
     collect_traces,
     simulate_network,
 )
+from repro.cache.store import stable_digest
+from repro.compression.traffic import LayerTraffic
 from repro.experiments.common import CI_MODEL_NAMES, format_table, geomean
 from repro.utils import timing
 from repro.utils.rng import DEFAULT_SEED
 
-__all__ = ["SweepPoint", "SweepRow", "SweepResult", "sweep_grid", "run_sweep"]
+__all__ = [
+    "SweepPoint",
+    "SweepRow",
+    "SweepFailure",
+    "SweepResult",
+    "RetryPolicy",
+    "sweep_grid",
+    "run_sweep",
+]
 
 #: Accelerators of the headline comparison (Fig 11/13 order).
 DEFAULT_ACCELERATORS = ("VAA", "PRA", "Diffy")
+
+#: Checkpoint file format version (bump on layout changes).
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry behaviour for one grid point.
+
+    ``attempts`` is the *total* try budget (1 = no retries).  Waits
+    between tries start at ``backoff_s`` and multiply by
+    ``backoff_factor``.  ``timeout_s`` bounds each pooled task's result
+    wait; ``None`` waits forever (a timed-out task is retried serially,
+    so a hung worker cannot wedge the whole grid).
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_s must be >= 0 and backoff_factor >= 1")
+
+    def delay_before(self, attempt: int) -> float:
+        """Sleep before try number ``attempt`` (1-based; no wait before 1)."""
+        if attempt <= 1:
+            return 0.0
+        return self.backoff_s * self.backoff_factor ** (attempt - 2)
+
+
+#: Default policy: three tries, 0.25s/0.5s waits, no per-task timeout.
+DEFAULT_RETRY = RetryPolicy()
 
 
 @dataclass(frozen=True)
@@ -74,11 +144,21 @@ class SweepRow:
 
 
 @dataclass(frozen=True)
+class SweepFailure:
+    """A grid point that exhausted its retry budget; the sweep kept going."""
+
+    point: SweepPoint
+    error: str
+    attempts: int
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """All rows of one sweep, with grid-level convenience queries."""
 
     rows: tuple[SweepRow, ...]
     resolution: tuple[int, int]
+    failures: tuple[SweepFailure, ...] = ()
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -169,6 +249,234 @@ def _warm_traces(args: tuple) -> str:
     return model
 
 
+# --------------------------------------------------------------------------
+# Checkpointing
+
+
+def _row_to_json(row: SweepRow) -> dict:
+    """JSONL record for one completed row (full float precision)."""
+    return {
+        "kind": "row",
+        "point": dataclasses.asdict(row.point),
+        "result": dataclasses.asdict(row.result),
+    }
+
+
+def _row_from_json(doc: dict) -> SweepRow:
+    """Rebuild a :class:`SweepRow`; exact inverse of :func:`_row_to_json`."""
+    res = dict(doc["result"])
+    layers = tuple(
+        LayerResult(**{**layer, "traffic": LayerTraffic(**layer["traffic"])})
+        for layer in res["layers"]
+    )
+    res["layers"] = layers
+    res["resolution"] = tuple(res["resolution"])
+    return SweepRow(point=SweepPoint(**doc["point"]), result=NetworkResult(**res))
+
+
+class _Checkpoint:
+    """Crash-safe JSONL checkpoint: meta header + one line per row.
+
+    Rows are appended (and flushed) as they complete, so a killed sweep
+    loses at most the row being written; a torn final line is skipped on
+    load.  The meta header carries a digest of the grid settings —
+    resuming against a checkpoint from different settings raises rather
+    than mixing incompatible rows.
+    """
+
+    def __init__(self, path: "str | os.PathLike", digest: str):
+        self.path = Path(path)
+        self.digest = digest
+
+    def _meta_line(self) -> str:
+        return json.dumps(
+            {"kind": "meta", "version": CHECKPOINT_VERSION, "digest": self.digest}
+        )
+
+    def load(self, resume: bool) -> dict[SweepPoint, SweepRow]:
+        """Completed rows from a previous run (empty unless resuming)."""
+        if not resume or not self.path.is_file():
+            # Fresh run: truncate any stale file and write the header.
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(self._meta_line() + "\n", encoding="utf-8")
+            return {}
+        done: dict[SweepPoint, SweepRow] = {}
+        meta = None
+        valid_end = 0
+        with open(self.path, "rb") as fh:
+            while True:
+                line = fh.readline()
+                if not line:
+                    break
+                # A torn trailing line (crash mid-write) fails to parse or
+                # lacks its newline; the rows before it are intact, the torn
+                # point just gets recomputed.
+                try:
+                    doc = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    timing.count("sweep.checkpoint_torn_line")
+                    break
+                if not line.endswith(b"\n"):
+                    timing.count("sweep.checkpoint_torn_line")
+                    break
+                if doc.get("kind") == "meta":
+                    meta = doc
+                elif doc.get("kind") == "row":
+                    row = _row_from_json(doc)
+                    done[row.point] = row
+                valid_end = fh.tell()
+        if valid_end < self.path.stat().st_size:
+            # Drop the torn tail so appended rows start on a clean line.
+            with open(self.path, "rb+") as fh:
+                fh.truncate(valid_end)
+        if meta is None:
+            raise ValueError(f"checkpoint {self.path} has no meta header")
+        if meta.get("version") != CHECKPOINT_VERSION or meta.get("digest") != self.digest:
+            raise ValueError(
+                f"checkpoint {self.path} was written by a different sweep "
+                "configuration; refusing to resume (delete it or drop --resume)"
+            )
+        timing.count("sweep.checkpoint_resumed_rows", len(done))
+        return done
+
+    def append(self, row: SweepRow) -> None:
+        """Persist one completed row immediately."""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(_row_to_json(row)) + "\n")
+            fh.flush()
+
+
+# --------------------------------------------------------------------------
+# Retrying execution
+
+
+def _attempt_serial(
+    args: tuple,
+    policy: RetryPolicy,
+    used_attempts: int = 0,
+    last_error: Optional[BaseException] = None,
+) -> "tuple[Optional[SweepRow], int, Optional[BaseException]]":
+    """Run one point in-process with the remaining retry budget.
+
+    Returns ``(row or None, total attempts used, last error)``.
+    """
+    attempt = used_attempts
+    error = last_error
+    while attempt < policy.attempts:
+        attempt += 1
+        delay = policy.delay_before(attempt)
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            return _simulate_point(args), attempt, None
+        except Exception as exc:  # noqa: BLE001 - keep-going is the contract
+            error = exc
+            timing.count("sweep.attempt_failed")
+    return None, attempt, error
+
+
+def _run_points(
+    point_args: "list[tuple]",
+    max_workers: int,
+    warm: bool,
+    warm_args: "list[tuple]",
+    policy: RetryPolicy,
+    on_row: Callable[[SweepRow], None],
+) -> "tuple[dict[SweepPoint, SweepRow], list[SweepFailure]]":
+    """Execute points (pooled when possible), retrying per the policy."""
+    rows: dict[SweepPoint, SweepRow] = {}
+    failures: list[SweepFailure] = []
+    # (args, attempts already used, last error) pending a serial retry.
+    pending: "list[tuple[tuple, int, Optional[BaseException]]]" = []
+
+    if max_workers and len(point_args) > 1:
+        try:
+            pooled_rows, pending = _run_pooled(
+                point_args, max_workers, warm, warm_args, policy, on_row
+            )
+            rows.update(pooled_rows)
+        except OSError:
+            # No usable process pool (restricted sandbox, missing
+            # semaphores, ...): the sweep still completes serially.
+            timing.count("sweep.pool_fallback")
+            pending = [(a, 0, None) for a in point_args]
+    else:
+        pending = [(a, 0, None) for a in point_args]
+
+    for args, used, error in pending:
+        row, attempts, final_error = _attempt_serial(args, policy, used, error)
+        point = args[0]
+        if row is not None:
+            rows[point] = row
+            on_row(row)
+        else:
+            timing.count("sweep.point_failed")
+            failures.append(
+                SweepFailure(point=point, error=repr(final_error), attempts=attempts)
+            )
+    return rows, failures
+
+
+def _run_pooled(
+    point_args: "list[tuple]",
+    max_workers: int,
+    warm: bool,
+    warm_args: "list[tuple]",
+    policy: RetryPolicy,
+    on_row: Callable[[SweepRow], None],
+) -> "tuple[dict[SweepPoint, SweepRow], list[tuple[tuple, int, Optional[BaseException]]]]":
+    """One pass over the grid through a process pool.
+
+    Returns completed rows plus the points needing a serial retry (their
+    pooled try counts against the budget).  A dead pool routes every
+    unfinished point to the serial path instead of failing the sweep.
+    """
+    rows: dict[SweepPoint, SweepRow] = {}
+    pending: "list[tuple[tuple, int, Optional[BaseException]]]" = []
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        broken: Optional[BaseException] = None
+        if warm:
+            try:
+                with timing.timed("sweep.warm_traces"):
+                    list(pool.map(_warm_traces, warm_args))
+            except BrokenProcessPool as exc:
+                timing.count("sweep.pool_broken")
+                broken = exc
+        if broken is not None:
+            return rows, [(a, 0, broken) for a in point_args]
+
+        futures = []
+        try:
+            for args in point_args:
+                futures.append((pool.submit(_simulate_point, args), args))
+        except BrokenProcessPool as exc:
+            timing.count("sweep.pool_broken")
+            submitted = {a[1][0] for a in futures}
+            pending.extend(
+                (a, 0, exc) for a in point_args if a[0] not in submitted
+            )
+
+        with timing.timed("sweep.grid"):
+            for future, args in futures:
+                try:
+                    row = future.result(timeout=policy.timeout_s)
+                    rows[args[0]] = row
+                    on_row(row)
+                except FutureTimeoutError:
+                    timing.count("sweep.task_timeout")
+                    future.cancel()
+                    pending.append((args, 1, TimeoutError(
+                        f"pooled task exceeded {policy.timeout_s}s"
+                    )))
+                except BrokenProcessPool as exc:
+                    timing.count("sweep.pool_broken")
+                    pending.append((args, 1, exc))
+                except Exception as exc:  # noqa: BLE001 - retried serially
+                    timing.count("sweep.attempt_failed")
+                    pending.append((args, 1, exc))
+    return rows, pending
+
+
 def run_sweep(
     models: Sequence[str] = CI_MODEL_NAMES,
     accelerators: Sequence[str] = DEFAULT_ACCELERATORS,
@@ -181,55 +489,62 @@ def run_sweep(
     seed: int = DEFAULT_SEED,
     max_workers: Optional[int] = None,
     warm: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: "str | os.PathLike | None" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run the full grid; see module docstring.
 
     ``max_workers=None`` sizes the pool to the grid and CPU count;
     ``max_workers=0`` forces serial in-process execution.  ``warm``
     controls the trace-precompute phase (pointless when serial, where
-    in-process memoization already shares traces).
+    in-process memoization already shares traces).  ``retry`` bounds
+    per-point attempts/timeouts; ``checkpoint``/``resume`` persist and
+    reload completed rows (see the checkpointing notes above).
     """
+    policy = retry if retry is not None else DEFAULT_RETRY
     points = sweep_grid(models, accelerators, schemes, memories)
     point_args = [
         (p, resolution, dataset_name, trace_count, crop, seed) for p in points
     ]
 
+    done: dict[SweepPoint, SweepRow] = {}
+    ckpt: Optional[_Checkpoint] = None
+    if checkpoint is not None:
+        digest = stable_digest(
+            "sweep-checkpoint",
+            points,
+            resolution,
+            dataset_name,
+            trace_count,
+            crop,
+            seed,
+        )
+        ckpt = _Checkpoint(checkpoint, digest)
+        done = ckpt.load(resume)
+
+    todo = [a for a in point_args if a[0] not in done]
+
     if max_workers is None:
-        max_workers = min(len(points), os.cpu_count() or 1)
+        max_workers = min(len(todo), os.cpu_count() or 1) if todo else 0
 
-    rows: list[SweepRow]
+    on_row = ckpt.append if ckpt is not None else (lambda row: None)
+    warm_args = [
+        (m, dataset_name, trace_count, crop, seed)
+        for m in sorted({a[0].model for a in todo})
+    ]
+
+    failures: list[SweepFailure] = []
     with timing.timed("sweep.run"):
-        if max_workers and len(points) > 1:
-            try:
-                rows = _run_pooled(
-                    points, point_args, max_workers, warm,
-                    dataset_name, trace_count, crop, seed,
-                )
-            except OSError:
-                # No usable process pool (restricted sandbox, missing
-                # semaphores, ...): the sweep still completes serially.
-                timing.count("sweep.pool_fallback")
-                rows = [_simulate_point(a) for a in point_args]
-        else:
-            rows = [_simulate_point(a) for a in point_args]
-    return SweepResult(rows=tuple(rows), resolution=resolution)
-
-
-def _run_pooled(
-    points, point_args, max_workers, warm, dataset_name, trace_count, crop, seed
-) -> list[SweepRow]:
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        if warm:
-            distinct = sorted({p.model for p in points})
-            with timing.timed("sweep.warm_traces"):
-                list(
-                    pool.map(
-                        _warm_traces,
-                        [(m, dataset_name, trace_count, crop, seed) for m in distinct],
-                    )
-                )
-        with timing.timed("sweep.grid"):
-            return list(pool.map(_simulate_point, point_args))
+        if todo:
+            rows, failures = _run_points(
+                todo, max_workers, warm, warm_args, policy, on_row
+            )
+            done.update(rows)
+    ordered = tuple(done[p] for p in points if p in done)
+    return SweepResult(
+        rows=ordered, resolution=resolution, failures=tuple(failures)
+    )
 
 
 def format_result(result: SweepResult) -> str:
@@ -246,10 +561,19 @@ def format_result(result: SweepResult) -> str:
         for r in result.rows
     ]
     h, w = result.resolution
-    return format_table(headers, rows, title=f"sweep at {w}x{h} ({len(rows)} points)")
+    text = format_table(headers, rows, title=f"sweep at {w}x{h} ({len(rows)} points)")
+    if result.failures:
+        lines = [text, "", f"FAILED points ({len(result.failures)}):"]
+        for f in result.failures:
+            lines.append(
+                f"  {f.point.model}/{f.point.accelerator}/{f.point.scheme}/"
+                f"{f.point.memory}: {f.error} (after {f.attempts} attempts)"
+            )
+        text = "\n".join(lines)
+    return text
 
 
-def main(argv: Optional[Sequence[str]] = None) -> None:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--models", nargs="+", default=list(CI_MODEL_NAMES))
     parser.add_argument("--accelerators", nargs="+", default=list(DEFAULT_ACCELERATORS))
@@ -262,7 +586,29 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--workers", type=int, default=None,
         help="process count (0 = serial; default: min(grid, cpus))",
     )
+    parser.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRY.attempts,
+        help="total attempts per grid point (1 = no retry)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=DEFAULT_RETRY.backoff_s,
+        help="initial wait between attempts (doubles each retry)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task timeout in seconds for pooled execution",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL file recording completed rows as they finish",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reload completed rows from --checkpoint and run only the rest",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
     result = run_sweep(
         models=args.models,
         accelerators=args.accelerators,
@@ -272,13 +618,19 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         trace_count=args.trace_count,
         crop=args.crop,
         max_workers=args.workers,
+        retry=RetryPolicy(
+            attempts=args.retries, backoff_s=args.backoff, timeout_s=args.timeout
+        ),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     print(format_result(result))
     if "VAA" in args.accelerators:
         for acc in args.accelerators:
             if acc != "VAA":
                 print(f"geomean {acc}/VAA: {result.geomean_speedup(acc):.2f}x")
+    return 1 if result.failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    raise SystemExit(main())

@@ -1,0 +1,306 @@
+"""Fault-injection campaigns: rate × site × scheme sweeps over real maps.
+
+A campaign answers the question the paper leaves open: what does Diffy's
+DeltaD16 storage win cost in reliability?  For each grid point it stores a
+set of feature maps under one scheme, injects seeded faults at one site,
+reconstructs, and measures end-to-end corruption
+(:class:`repro.faults.metrics.CorruptionMetrics`).
+
+Scheme → site mapping (each site corrupts the representation that scheme
+actually stores):
+
+- ``Raw16`` × ``memory`` — raw 16-bit activation words in the activation
+  memory, read back through
+  :meth:`repro.arch.memory.MemorySystem.read_words`'s fault hook.  A bit
+  error corrupts exactly one value.
+- ``RawD16`` × ``stream`` — the packed dynamic-precision bitstream
+  (:class:`repro.compression.codec.GroupCodec`, unsigned) corrupted before
+  decode; a header hit desynchronizes the rest of the stream.
+- ``DeltaD16`` × ``stream`` — the packed *delta* bitstream corrupted
+  before decode, then differentially reconstructed; combines stream
+  desync with chain-wide error accumulation.
+- ``DeltaD16`` × ``delta`` — decoded deltas corrupted just before
+  reconstruction (:func:`repro.core.differential.reconstruct_map`'s
+  ``delta_hook``); isolates the pure error-amplification effect of
+  shipping differences instead of values.
+
+Rates are per stored bit, so schemes are compared at equal raw bit-error
+rates.  Every random draw derives from the root seed through
+:func:`repro.utils.rng.rng_for`, making campaigns bit-deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.arch.memory import IDEAL_MEMORY
+from repro.compression.codec import GroupCodec
+from repro.compression.schemes import planar_order
+from repro.core.deltas import spatial_deltas
+from repro.core.differential import reconstruct_map
+from repro.faults.inject import WORD_BITS, inject_deltas, inject_encoded, inject_words
+from repro.faults.metrics import CorruptionMetrics, ErrorAccumulator
+from repro.faults.models import FaultModel, fault_model
+from repro.utils.rng import DEFAULT_SEED, rng_for
+
+__all__ = [
+    "SCHEME_SITES",
+    "CampaignPoint",
+    "CampaignRow",
+    "campaign_grid",
+    "run_campaign",
+    "run_length_amplification",
+]
+
+#: Injection sites valid for each storage scheme (see module docstring).
+SCHEME_SITES: "dict[str, tuple[str, ...]]" = {
+    "Raw16": ("memory",),
+    "RawD16": ("stream",),
+    "DeltaD16": ("stream", "delta"),
+}
+
+#: Default per-stored-bit fault rates swept by campaigns.
+DEFAULT_RATES = (1e-5, 1e-4, 1e-3)
+
+#: Default fault models swept by campaigns.
+DEFAULT_FAULT_MODELS = ("flip1", "burst4")
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One (scheme, site, fault model, rate) grid coordinate."""
+
+    scheme: str
+    site: str
+    fault_model: str
+    rate: float
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """A grid point plus its aggregated corruption measurements."""
+
+    point: CampaignPoint
+    #: Independent injection trials aggregated into the metrics.
+    trials: int
+    #: Feature maps stored per trial.
+    maps: int
+    #: Stored bits exposed to faults, summed over maps and trials.
+    stored_bits: int
+    #: Fault events actually injected, summed over maps and trials.
+    faults: int
+    metrics: CorruptionMetrics
+
+
+def campaign_grid(
+    schemes: Sequence[str],
+    sites: Sequence[str],
+    rates: Sequence[float],
+    fault_models: Sequence[str],
+) -> "tuple[CampaignPoint, ...]":
+    """Valid (scheme, site) pairs crossed with fault models and rates."""
+    points = []
+    for scheme, site in itertools.product(schemes, sites):
+        if scheme not in SCHEME_SITES:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; campaigns support {sorted(SCHEME_SITES)}"
+            )
+        if site not in SCHEME_SITES[scheme]:
+            continue
+        for model_name, rate in itertools.product(fault_models, rates):
+            fault_model(model_name)  # fail fast on unknown names
+            points.append(CampaignPoint(scheme, site, model_name, float(rate)))
+    if not points:
+        raise ValueError(f"no valid (scheme, site) combination in {schemes} x {sites}")
+    return tuple(points)
+
+
+class _MapContext:
+    """Per-map precomputation shared across every grid point and trial."""
+
+    def __init__(self, fmap: np.ndarray):
+        arr = np.asarray(fmap, dtype=np.int64)
+        if arr.ndim != 3:
+            raise ValueError(f"expected (C, H, W) feature map, got shape {arr.shape}")
+        self.fmap = arr
+        self.flat = planar_order(arr)
+        self.signed = bool(self.flat.size and self.flat.min() < 0)
+        self.deltas = spatial_deltas(arr)
+        self._encoded: dict = {}
+
+    def encoded(self, scheme: str):
+        """Packed stream for one scheme (computed once, reused everywhere)."""
+        if scheme not in self._encoded:
+            if scheme == "RawD16":
+                codec = GroupCodec(group_size=16, signed=self.signed)
+                self._encoded[scheme] = (codec, codec.encode(self.flat))
+            elif scheme == "DeltaD16":
+                codec = GroupCodec(group_size=16, signed=True)
+                self._encoded[scheme] = (codec, codec.encode(planar_order(self.deltas)))
+            else:  # pragma: no cover - guarded by campaign_grid
+                raise ValueError(f"scheme {scheme!r} has no packed stream")
+        return self._encoded[scheme]
+
+
+def _inject_one(
+    ctx: _MapContext,
+    point: CampaignPoint,
+    model: FaultModel,
+    rng: np.random.Generator,
+) -> "tuple[np.ndarray, int, int]":
+    """Store, corrupt, and reconstruct one map at one grid point.
+
+    Returns ``(observed map, stored bits, fault events)``.
+    """
+    if point.site == "memory":
+        counter = {"faults": 0}
+
+        def hook(words: np.ndarray) -> np.ndarray:
+            corrupted, n = inject_words(
+                words, point.rate, model, rng, signed=ctx.signed
+            )
+            counter["faults"] = n
+            return corrupted
+
+        memory = IDEAL_MEMORY.with_fault_hook(hook)
+        observed = memory.read_words(ctx.flat).reshape(ctx.fmap.shape)
+        return observed, ctx.flat.size * WORD_BITS, counter["faults"]
+
+    if point.site == "stream":
+        codec, encoded = ctx.encoded(point.scheme)
+        corrupted, faults = inject_encoded(encoded, point.rate, model, rng)
+        decoded = codec.decode(corrupted, strict=False).reshape(ctx.fmap.shape)
+        if point.scheme == "DeltaD16":
+            decoded = reconstruct_map(decoded)
+        return decoded, encoded.bits, faults
+
+    if point.site == "delta":
+        counter = {"faults": 0}
+
+        def delta_hook(deltas: np.ndarray) -> np.ndarray:
+            corrupted, n = inject_deltas(deltas, point.rate, model, rng)
+            counter["faults"] = n
+            return corrupted
+
+        observed = reconstruct_map(ctx.deltas, delta_hook=delta_hook)
+        return observed, ctx.deltas.size * WORD_BITS, counter["faults"]
+
+    raise ValueError(f"unknown injection site {point.site!r}")
+
+
+def run_campaign(
+    fmaps: Sequence[np.ndarray],
+    schemes: Sequence[str] = ("Raw16", "DeltaD16"),
+    sites: Sequence[str] = ("memory", "stream", "delta"),
+    rates: Sequence[float] = DEFAULT_RATES,
+    fault_models: Sequence[str] = DEFAULT_FAULT_MODELS,
+    trials: int = 2,
+    seed: int = DEFAULT_SEED,
+) -> "list[CampaignRow]":
+    """Run the full campaign grid over ``fmaps``; see module docstring.
+
+    Deterministic: each (point, trial, map) injection draws from its own
+    :func:`rng_for` stream keyed by the root ``seed``, so re-running with
+    the same arguments reproduces every row bit-for-bit.
+    """
+    if not fmaps:
+        raise ValueError("run_campaign needs at least one feature map")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    contexts = [_MapContext(f) for f in fmaps]
+    rows = []
+    for point in campaign_grid(schemes, sites, rates, fault_models):
+        model = fault_model(point.fault_model)
+        acc = ErrorAccumulator()
+        stored_bits = 0
+        faults = 0
+        for trial in range(trials):
+            for index, ctx in enumerate(contexts):
+                rng = rng_for(
+                    seed,
+                    "faults",
+                    point.scheme,
+                    point.site,
+                    point.fault_model,
+                    point.rate,
+                    trial,
+                    index,
+                )
+                observed, bits, n = _inject_one(ctx, point, model, rng)
+                acc.add(ctx.fmap, observed)
+                stored_bits += bits
+                faults += n
+        rows.append(
+            CampaignRow(
+                point=point,
+                trials=trials,
+                maps=len(contexts),
+                stored_bits=stored_bits,
+                faults=faults,
+                metrics=acc.finish(),
+            )
+        )
+    return rows
+
+
+def run_length_amplification(
+    rows: Sequence[CampaignRow],
+    delta_site: str = "delta",
+) -> "dict[str, float]":
+    """Error-run-length ratio DeltaD16 / Raw16 at matched (model, rate).
+
+    The headline number of the study: how much longer corruption streaks
+    become when storage ships deltas instead of raw words.  Pairs where
+    either side observed no error runs are omitted (nothing to compare).
+    """
+    raw = {
+        (r.point.fault_model, r.point.rate): r.metrics.mean_run_length
+        for r in rows
+        if r.point.scheme == "Raw16" and r.point.site == "memory"
+    }
+    out: "dict[str, float]" = {}
+    for row in rows:
+        if row.point.scheme != "DeltaD16" or row.point.site != delta_site:
+            continue
+        base = raw.get((row.point.fault_model, row.point.rate))
+        if base and row.metrics.mean_run_length:
+            key = f"{row.point.fault_model}@{row.point.rate:g}"
+            out[key] = row.metrics.mean_run_length / base
+    return out
+
+
+def summarize(rows: Sequence[CampaignRow]) -> "list[tuple[str, ...]]":
+    """Rows flattened for table formatting (scheme/site/model/rate + metrics)."""
+    out = []
+    for r in rows:
+        m = r.metrics
+        out.append(
+            (
+                r.point.scheme,
+                r.point.site,
+                r.point.fault_model,
+                f"{r.point.rate:g}",
+                str(r.faults),
+                f"{m.corrupted_fraction:.2%}",
+                f"{m.mean_run_length:.1f}",
+                str(m.max_run_length),
+                f"{m.psnr_db:.1f}" if np.isfinite(m.psnr_db) else "inf",
+            )
+        )
+    return out
+
+
+def default_campaign_kwargs(
+    rates: Optional[Sequence[float]] = None,
+) -> dict:
+    """Keyword defaults shared by the experiment entry points."""
+    return {
+        "schemes": ("Raw16", "RawD16", "DeltaD16"),
+        "sites": ("memory", "stream", "delta"),
+        "rates": tuple(rates) if rates is not None else DEFAULT_RATES,
+        "fault_models": DEFAULT_FAULT_MODELS,
+    }

@@ -1,0 +1,107 @@
+"""Site-level fault injection: words, packed streams, delta maps.
+
+The campaign corrupts stored activations at three sites, matching the
+hooks grown in the architecture model:
+
+- :func:`inject_words` — raw activation words as they sit in the
+  activation/off-chip memory (the :meth:`repro.arch.memory.MemorySystem.read_words`
+  hook's payload): each value is a ``width``-bit two's-complement word.
+- :func:`inject_encoded` — the packed dynamic-precision bitstream of a
+  :class:`repro.compression.codec.Encoded` container, before decode.  Only
+  payload bits are exposed to faults (byte-padding bits are not stored).
+- :func:`inject_deltas` — a decoded delta map, before differential
+  reconstruction (the ``delta_hook`` site of
+  :func:`repro.core.differential.reconstruct_map`).
+
+All three return ``(corrupted copy, fault event count)`` and never mutate
+their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.codec import Encoded
+from repro.faults.models import (
+    FaultModel,
+    bits_to_words,
+    inject_bits,
+    words_to_bits,
+)
+
+__all__ = ["inject_words", "inject_encoded", "inject_deltas"]
+
+#: Hardware storage word width (16-bit fixed point everywhere).
+WORD_BITS = 16
+
+
+def _to_unsigned(arr: np.ndarray, width: int) -> np.ndarray:
+    """Two's-complement view of signed words (identity for non-negative)."""
+    lo, hi = -(1 << (width - 1)), (1 << width) - 1
+    if arr.size and (arr.min() < lo or arr.max() > hi):
+        raise ValueError(f"values do not fit {width}-bit storage words")
+    return arr & ((1 << width) - 1)
+
+
+def _from_unsigned(arr: np.ndarray, width: int) -> np.ndarray:
+    sign_bit = np.int64(1) << (width - 1)
+    return np.where(arr & sign_bit, arr - (np.int64(1) << width), arr)
+
+
+def inject_words(
+    words: np.ndarray,
+    rate: float,
+    model: FaultModel,
+    rng: np.random.Generator,
+    width: int = WORD_BITS,
+    signed: bool = False,
+) -> "tuple[np.ndarray, int]":
+    """Corrupt ``width``-bit storage words at a per-bit fault ``rate``.
+
+    ``signed`` selects a two's-complement interpretation (delta words);
+    unsigned words must be non-negative.  Shape and dtype (int64) of the
+    returned array match the input.
+    """
+    arr = np.asarray(words, dtype=np.int64)
+    raw = _to_unsigned(arr.reshape(-1), width)
+    if not signed and arr.size and arr.min() < 0:
+        raise ValueError("unsigned word injection requires non-negative values")
+    bits = words_to_bits(raw, width)
+    faults = inject_bits(bits, rate, model, rng)
+    out = bits_to_words(bits, width)
+    if signed:
+        out = _from_unsigned(out, width)
+    return out.reshape(arr.shape), faults
+
+
+def inject_encoded(
+    encoded: Encoded,
+    rate: float,
+    model: FaultModel,
+    rng: np.random.Generator,
+) -> "tuple[Encoded, int]":
+    """Corrupt the payload bits of a packed stream before decode.
+
+    Only the ``encoded.bits`` payload bits are exposed — the zero padding
+    :class:`~repro.compression.codec.BitWriter` adds to reach a whole byte
+    never leaves the encoder, so it cannot fault.
+    """
+    bits = np.unpackbits(np.frombuffer(encoded.data, dtype=np.uint8))
+    payload = bits[: encoded.bits]
+    faults = inject_bits(payload, rate, model, rng)
+    bits[: encoded.bits] = payload
+    return (
+        Encoded(data=np.packbits(bits).tobytes(), bits=encoded.bits, values=encoded.values),
+        faults,
+    )
+
+
+def inject_deltas(
+    deltas: np.ndarray,
+    rate: float,
+    model: FaultModel,
+    rng: np.random.Generator,
+    width: int = WORD_BITS,
+) -> "tuple[np.ndarray, int]":
+    """Corrupt a decoded delta map (signed words) before reconstruction."""
+    return inject_words(deltas, rate, model, rng, width=width, signed=True)

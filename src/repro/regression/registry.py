@@ -37,6 +37,7 @@ _EXPERIMENT_MODULES: "tuple[tuple[str, str], ...]" = (
     ("fig20", "fig20_scnn"),
     ("ablations", "ablations"),
     ("ext_temporal", "ext_temporal"),
+    ("ext_faults", "ext_faults"),
 )
 
 

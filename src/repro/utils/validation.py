@@ -6,7 +6,9 @@ of the public API fails loudly and early.
 
 from __future__ import annotations
 
-from typing import Collection
+from typing import Collection, Optional
+
+import numpy as np
 
 
 def check_positive(name: str, value: float) -> None:
@@ -30,3 +32,57 @@ def check_in(name: str, value: object, allowed: Collection) -> None:
 def check_axis(name: str, axis: str) -> None:
     """Validate a spatial-delta axis designator ('x' or 'y')."""
     check_in(name, axis, ("x", "y"))
+
+
+#: Human-readable names for numpy dtype kind codes (error messages).
+_KIND_NAMES = {
+    "i": "signed integer",
+    "u": "unsigned integer",
+    "f": "float",
+    "b": "bool",
+    "c": "complex",
+}
+
+
+def check_dtype(name: str, array: np.ndarray, kinds: str = "iu") -> np.ndarray:
+    """Raise ``ValueError`` unless ``array``'s dtype kind is in ``kinds``.
+
+    ``kinds`` is a string of numpy dtype kind codes (``"iu"`` accepts any
+    integer dtype).  Inputs that numpy cannot coerce to a uniform array at
+    all (ragged lists, mixed types) also fail with ``ValueError``.
+    """
+    try:
+        arr = np.asarray(array)
+    except Exception as exc:
+        raise ValueError(f"{name} is not array-like: {exc}") from None
+    if arr.dtype.kind not in kinds:
+        wanted = " or ".join(_KIND_NAMES.get(k, repr(k)) for k in kinds)
+        got = _KIND_NAMES.get(arr.dtype.kind, arr.dtype.kind)
+        raise ValueError(f"{name} must have {wanted} dtype, got {got} ({arr.dtype})")
+    return arr
+
+
+def check_shape(
+    name: str,
+    array: np.ndarray,
+    ndim: Optional[int] = None,
+    min_ndim: Optional[int] = None,
+) -> np.ndarray:
+    """Raise ``ValueError`` unless ``array``'s rank matches the constraint."""
+    arr = np.asarray(array)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must have {ndim} dims, got shape {arr.shape}")
+    if min_ndim is not None and arr.ndim < min_ndim:
+        raise ValueError(f"{name} must have >= {min_ndim} dims, got shape {arr.shape}")
+    return arr
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Raise ``ValueError`` if ``array`` contains NaN or infinity.
+
+    Integer arrays pass trivially; float arrays are scanned.
+    """
+    arr = np.asarray(array)
+    if arr.dtype.kind == "f" and arr.size and not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains non-finite values (NaN or infinity)")
+    return arr

@@ -87,6 +87,27 @@ class TestStore:
         assert store.fetch_or_compute("t", ("k",), lambda: 7) == 7
         assert store.cache_stats().errors >= 1
 
+    def test_corrupt_entry_quarantined_for_postmortem(self, fresh_cache):
+        """A truncated pickle is moved aside (evidence kept), not overwritten
+        silently, and the next fetch recomputes and restores a good entry."""
+        store.fetch_or_compute("traces", ("model", 1), lambda: [1, 2, 3])
+        digest = store.stable_digest("traces", "model", 1)
+        entry = store._entry_path("traces", digest)
+        good = entry.read_bytes()
+        entry.write_bytes(good[: len(good) // 2])  # torn write
+
+        assert store.fetch_or_compute("traces", ("model", 1), lambda: [1, 2, 3]) == [
+            1, 2, 3,
+        ]
+        stats = store.cache_stats()
+        assert stats.quarantined == 1
+        quarantined = fresh_cache / "quarantine" / "traces" / entry.name
+        assert quarantined.is_file(), "corrupt entry must be preserved"
+        assert quarantined.read_bytes() == good[: len(good) // 2]
+        # The live slot was rewritten and now hits cleanly.
+        assert store.fetch_or_compute("traces", ("model", 1), lambda: 0) == [1, 2, 3]
+        assert store.cache_stats().quarantined == 1
+
     def test_purge_empties_root(self, fresh_cache):
         store.fetch_or_compute("a", (1,), lambda: 1)
         store.fetch_or_compute("b", (2,), lambda: 2)

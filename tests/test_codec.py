@@ -137,3 +137,65 @@ class TestRLEZeroCodec:
         sparse = codec.encode(np.array([0] * 60 + [5] * 4))
         dense = codec.encode(np.arange(1, 65))
         assert sparse.bits < dense.bits
+
+
+class TestInputValidation:
+    """Adversarial inputs must fail with uniform ``ValueError``s (or round
+    trip cleanly) — never leak numpy shape/dtype tracebacks."""
+
+    CODECS = [GroupCodec(signed=True), GroupCodec(signed=False), RLEZeroCodec()]
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: type(c).__name__)
+    def test_rejects_garbage_inputs(self, codec):
+        bad_inputs = [
+            np.array(5),                        # 0-d scalar
+            np.array([1.5, 2.25]),              # non-integral floats
+            np.array([np.nan, 1.0]),            # NaN
+            np.array([np.inf]),                 # infinity
+            np.array([1 << 20]),                # exceeds 16-bit storage
+            np.array(["a", "b"]),               # wrong dtype kind
+            [[1, 2], [3]],                      # ragged nested list
+        ]
+        for values in bad_inputs:
+            with pytest.raises(ValueError):
+                codec.encode(values)
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: type(c).__name__)
+    def test_integral_floats_round_trip(self, codec):
+        signed = getattr(codec, "signed", True)
+        values = np.array([0.0, 1.0, -3.0 if signed else 3.0, 100.0])
+        encoded = codec.encode(values)
+        assert np.array_equal(codec.decode(encoded), values.astype(np.int64))
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: type(c).__name__)
+    def test_empty_stream_round_trips(self, codec):
+        encoded = codec.encode(np.array([], dtype=np.int64))
+        assert encoded.values == 0
+        assert codec.decode(encoded).size == 0
+
+    @given(
+        values=st.lists(st.integers(-32768, 32767), min_size=1, max_size=64),
+        cut=st.integers(1, 8),
+    )
+    @settings(max_examples=40)
+    def test_truncated_streams_raise_uniformly(self, values, cut):
+        """Chopping bytes off a stream must surface as ValueError in strict
+        mode and decode (zero-padded) without raising in lenient mode."""
+        codec = GroupCodec(group_size=16, signed=True)
+        encoded = codec.encode(np.array(values))
+        truncated = type(encoded)(
+            data=encoded.data[: max(0, len(encoded.data) - cut)],
+            bits=encoded.bits,
+            values=encoded.values,
+        )
+        with pytest.raises(ValueError):
+            codec.decode(truncated)
+        lenient = codec.decode(truncated, strict=False)
+        assert lenient.shape == (len(values),)
+
+    def test_negative_metadata_rejected(self):
+        codec = GroupCodec(signed=True)
+        encoded = codec.encode(np.array([1, 2, 3]))
+        bad = type(encoded)(data=encoded.data, bits=-1, values=encoded.values)
+        with pytest.raises(ValueError):
+            codec.decode(bad)

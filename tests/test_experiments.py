@@ -203,6 +203,20 @@ class TestTemporalExtension:
         assert "frame buffer" in ext_temporal.format_result(results)
 
 
+class TestExtFaults:
+    def test_campaign_over_real_traces(self):
+        from repro.experiments import ext_faults
+
+        result = ext_faults.run(model="DnCNN", crop=48, rates=(1e-3,), trials=1)
+        assert result.stored_values > 0
+        assert result.amplification, "campaign must produce comparable pairs"
+        assert result.min_amplification > 3.0, (
+            "delta storage must show measurably longer error runs than raw"
+        )
+        text = ext_faults.format_result(result)
+        assert "DeltaD16" in text and "amplification" in text
+
+
 class TestRunAll:
     def test_registry_complete(self):
         # Every paper table/figure id is present.
@@ -211,17 +225,44 @@ class TestRunAll:
             "table3", "table4", "fig11", "fig12", "fig13", "table5",
             "fig14", "fig15", "table6", "table7", "fig16", "fig17",
             "fig18", "fig19", "fig20", "ablations", "ext_temporal",
+            "ext_faults",
         ):
             assert key in run_all.EXPERIMENTS
 
     def test_filter_no_match(self, capsys):
-        run_all.main(["definitely-not-an-experiment"])
+        assert run_all.main(["definitely-not-an-experiment"]) == 2
         assert "no experiment matches" in capsys.readouterr().out
 
     def test_filtered_run(self, capsys):
-        run_all.main(["table4"])
+        assert run_all.main(["table4"]) == 0
         out = capsys.readouterr().out
         assert "Table IV" in out and "done in" in out
+
+    def test_keeps_going_past_failures(self, capsys, monkeypatch):
+        """One broken experiment must not hide the others' reports."""
+        ran = []
+
+        def broken():
+            raise RuntimeError("synthetic experiment crash")
+
+        monkeypatch.setattr(
+            run_all,
+            "EXPERIMENTS",
+            {"aaa_broken": broken, "bbb_fine": lambda: ran.append("bbb")},
+        )
+        exit_code = run_all.main([])
+        out = capsys.readouterr().out
+        assert exit_code == 1, "exit code counts the failed experiments"
+        assert ran == ["bbb"], "later experiments still run"
+        assert "aaa_broken FAILED" in out
+        assert "synthetic experiment crash" in out
+        assert "Traceback" in out, "summary must carry the traceback"
+        assert "1 of 2 experiments failed" in out
+
+    def test_all_pass_summary(self, capsys, monkeypatch):
+        monkeypatch.setattr(run_all, "EXPERIMENTS", {"ok": lambda: None})
+        assert run_all.main([]) == 0
+        assert "all 1 experiments passed" in capsys.readouterr().out
 
 
 class TestPerLayerStatistic:

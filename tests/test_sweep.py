@@ -1,11 +1,16 @@
-"""Tests for the grid sweep runner (serial path + grid bookkeeping)."""
+"""Tests for the grid sweep runner: serial path, grid bookkeeping, and the
+resilience layer (retry/backoff, pool degradation, checkpoint/resume)."""
 
 from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
 from repro.arch.sim import simulate_network
+from repro.experiments import sweep
 from repro.experiments.sweep import (
+    RetryPolicy,
     SweepPoint,
     format_result,
     run_sweep,
@@ -96,3 +101,153 @@ class TestPooledSweep:
         assert [r.result for r in pooled.rows] == [
             r.result for r in serial_sweep.rows
         ]
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_exponential_delays(self):
+        policy = RetryPolicy(attempts=4, backoff_s=0.1, backoff_factor=2.0)
+        assert policy.delay_before(1) == 0.0
+        assert policy.delay_before(2) == pytest.approx(0.1)
+        assert policy.delay_before(3) == pytest.approx(0.2)
+        assert policy.delay_before(4) == pytest.approx(0.4)
+
+
+class TestDegradedExecution:
+    """The sweep must survive dying workers and flaky points."""
+
+    ONE_POINT = dict(
+        models=("DnCNN",), accelerators=("VAA",), trace_count=1, crop=32
+    )
+    FAST_RETRY = RetryPolicy(attempts=3, backoff_s=0.001)
+
+    def test_broken_pool_falls_back_to_serial(self, serial_sweep, monkeypatch):
+        """A pool whose workers die still completes the grid serially."""
+
+        class DyingPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, items):
+                raise BrokenProcessPool("worker died")
+
+            def submit(self, fn, *args):
+                raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(sweep, "ProcessPoolExecutor", DyingPool)
+        result = run_sweep(**{**SWEEP_KWARGS, "max_workers": 2})
+        assert not result.failures
+        assert [r.result for r in result.rows] == [
+            r.result for r in serial_sweep.rows
+        ]
+
+    def test_exhausted_retries_become_failure_rows(self, monkeypatch):
+        attempts = []
+
+        def always_fails(args):
+            attempts.append(args[0])
+            raise RuntimeError("injected point failure")
+
+        monkeypatch.setattr(sweep, "_simulate_point", always_fails)
+        result = run_sweep(
+            **self.ONE_POINT, max_workers=0, retry=self.FAST_RETRY
+        )
+        assert result.rows == ()
+        (failure,) = result.failures
+        assert failure.attempts == self.FAST_RETRY.attempts
+        assert len(attempts) == self.FAST_RETRY.attempts
+        assert "injected point failure" in failure.error
+        assert "injected point failure" in format_result(result)
+
+    def test_transient_failure_recovers(self, monkeypatch):
+        real = sweep._simulate_point
+        calls = []
+
+        def flaky(args):
+            calls.append(args[0])
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return real(args)
+
+        monkeypatch.setattr(sweep, "_simulate_point", flaky)
+        result = run_sweep(
+            **self.ONE_POINT, max_workers=0, retry=self.FAST_RETRY
+        )
+        assert not result.failures
+        assert len(result.rows) == 1
+        assert len(calls) == 2
+
+
+class TestCheckpointResume:
+    KWARGS = dict(
+        models=("DnCNN",),
+        accelerators=("VAA", "Diffy"),
+        trace_count=1,
+        crop=32,
+        max_workers=0,
+    )
+
+    def test_checkpoint_records_every_row(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        result = run_sweep(**self.KWARGS, checkpoint=ck)
+        lines = ck.read_text().splitlines()
+        assert len(lines) == 1 + len(result.rows)  # meta + rows
+        assert '"kind": "meta"' in lines[0]
+
+    def test_resume_runs_only_missing_points(self, tmp_path, monkeypatch):
+        """Kill mid-grid (simulated by truncation), resume, and converge
+        to the uninterrupted run byte-for-byte."""
+        ck = tmp_path / "sweep.jsonl"
+        full = run_sweep(**self.KWARGS, checkpoint=ck)
+        full_lines = ck.read_text().splitlines()
+        assert len(full_lines) == 3
+
+        # Crash after the first row, mid-write of the second: keep meta +
+        # row 1 and a torn fragment of row 2 with no trailing newline.
+        ck.write_text("\n".join(full_lines[:2]) + "\n" + full_lines[2][:25])
+
+        real = sweep._simulate_point
+        recomputed = []
+        monkeypatch.setattr(
+            sweep,
+            "_simulate_point",
+            lambda args: recomputed.append(args[0]) or real(args),
+        )
+        resumed = run_sweep(**self.KWARGS, checkpoint=ck, resume=True)
+
+        assert recomputed == [full.rows[1].point], "only the missing point re-runs"
+        assert resumed.rows == full.rows
+        assert ck.read_text().splitlines() == full_lines, (
+            "resumed checkpoint must be byte-identical to the uninterrupted one"
+        )
+
+    def test_resume_refuses_foreign_checkpoint(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        run_sweep(**self.KWARGS, checkpoint=ck)
+        with pytest.raises(ValueError, match="different sweep"):
+            run_sweep(**{**self.KWARGS, "crop": 36}, checkpoint=ck, resume=True)
+
+    def test_resume_without_file_starts_fresh(self, tmp_path):
+        ck = tmp_path / "absent.jsonl"
+        result = run_sweep(**self.KWARGS, checkpoint=ck, resume=True)
+        assert len(result.rows) == 2
+        assert ck.is_file()
+
+    def test_fresh_run_truncates_stale_checkpoint(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        ck.write_text("garbage that is not json\n")
+        result = run_sweep(**self.KWARGS, checkpoint=ck)
+        lines = ck.read_text().splitlines()
+        assert len(lines) == 1 + len(result.rows)
+        assert "garbage" not in ck.read_text()
