@@ -77,6 +77,11 @@ class MemorySystem:
     #: bit errors in stored activation words (see :mod:`repro.faults`).
     #: ``None`` (the default) keeps the memory ideal, as everywhere else.
     fault_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    #: Store words as SECDED codewords (:mod:`repro.protect.ecc`): faults
+    #: then hit the 22-bit codewords and :meth:`read_words` corrects or
+    #: detects them on the way back.  Raises the stored footprint by
+    #: ``codeword_bits(w)/w`` (22/16 for 16-bit words).
+    ecc: bool = False
 
     def __post_init__(self) -> None:
         check_positive("channels", self.channels)
@@ -114,18 +119,47 @@ class MemorySystem:
         A fault-free system returns the words unchanged.  When a
         ``fault_hook`` is configured (the fault-injection campaign's
         "memory" site), the hook receives the word array and returns the
-        possibly-corrupted copy; the input is never mutated.
+        possibly-corrupted copy; the input is never mutated.  With ``ecc``
+        enabled the round trip goes through SECDED codewords — the hook
+        corrupts the codewords and decode corrects/detects on the way
+        back; see :meth:`read_words_ecc` for the report.
         """
+        if self.ecc:
+            return self.read_words_ecc(words)[0]
         arr = np.asarray(words)
         if self.fault_hook is None:
             return arr
         return self.fault_hook(arr)
+
+    def read_words_ecc(
+        self, words: np.ndarray, width: int = 16, signed: bool = False
+    ) -> "tuple[np.ndarray, object]":
+        """SECDED round trip: encode, apply the fault hook, decode.
+
+        Returns ``(words, SecdedReport)``.  Single-bit flips per codeword
+        come back corrected; double flips come back as zeros with the
+        report's ``detected_mask`` set.  Usable regardless of the ``ecc``
+        flag (protected fault campaigns call it directly).
+        """
+        from repro.protect.ecc import secded_decode, secded_encode
+
+        arr = np.asarray(words)
+        if arr.size and not signed:
+            signed = bool(np.asarray(arr).min() < 0)
+        codes = secded_encode(arr, width, signed=signed)
+        if self.fault_hook is not None:
+            codes = np.asarray(self.fault_hook(codes))
+        return secded_decode(codes, width, signed=signed)
 
     def with_fault_hook(
         self, hook: Optional[Callable[[np.ndarray], np.ndarray]]
     ) -> "MemorySystem":
         """A copy of this system with ``fault_hook`` replaced."""
         return dataclasses.replace(self, fault_hook=hook)
+
+    def with_ecc(self, ecc: bool = True) -> "MemorySystem":
+        """A copy of this system with SECDED word protection toggled."""
+        return dataclasses.replace(self, ecc=ecc)
 
 
 #: An effectively infinite memory system (the "Ideal" bars of Fig 11).

@@ -13,12 +13,14 @@ process.  See :mod:`repro.cache.store` for the design and
 
 from repro.cache.store import (
     CACHE_SCHEMA_VERSION,
+    QUARANTINE_CAP,
     cache_enabled,
     cache_root,
     cache_stats,
     clear_memory_caches,
     fetch_or_compute,
     purge,
+    quarantine_cap,
     register_memory_cache,
     reset_stats,
     stable_digest,
@@ -26,12 +28,14 @@ from repro.cache.store import (
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "QUARANTINE_CAP",
     "cache_enabled",
     "cache_root",
     "cache_stats",
     "clear_memory_caches",
     "fetch_or_compute",
     "purge",
+    "quarantine_cap",
     "register_memory_cache",
     "reset_stats",
     "stable_digest",

@@ -27,7 +27,11 @@ Design points:
   but instead of being silently overwritten it is moved to
   ``<root>/quarantine/<namespace>/<digest>.pkl`` for post-mortem (torn
   writes, disk corruption, schema bugs all leave evidence), and counted
-  in :func:`cache_stats` as ``quarantined``.
+  in :func:`cache_stats` as ``quarantined``.  The quarantine area is
+  capped at the newest :data:`QUARANTINE_CAP` pickles (override with
+  ``REPRO_QUARANTINE_CAP``); older evidence is evicted oldest-first and
+  counted as ``quarantine_evicted``, so a recurring corruption source
+  cannot grow the cache directory without bound.
 - **Observability** — hits/misses/stores and load/compute timings feed
   :mod:`repro.utils.timing`; ``REPRO_PROFILE=1`` prints them at exit.
 
@@ -50,6 +54,7 @@ from repro.utils import timing
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "QUARANTINE_CAP",
     "cache_enabled",
     "cache_root",
     "stable_digest",
@@ -57,6 +62,7 @@ __all__ = [
     "cache_stats",
     "reset_stats",
     "purge",
+    "quarantine_cap",
     "register_memory_cache",
     "clear_memory_caches",
 ]
@@ -72,6 +78,10 @@ _DEFAULT_ROOT = "~/.cache/repro"
 #: interpreter range while still framing large numpy buffers efficiently.
 _PICKLE_PROTOCOL = 4
 
+#: Keep at most this many quarantined pickles (newest by mtime); the
+#: ``REPRO_QUARANTINE_CAP`` environment variable overrides it per call.
+QUARANTINE_CAP = 32
+
 
 @dataclass
 class CacheStats:
@@ -83,6 +93,7 @@ class CacheStats:
     bypasses: int = 0
     errors: int = 0
     quarantined: int = 0
+    quarantine_evicted: int = 0
 
 
 _STATS = CacheStats()
@@ -146,6 +157,50 @@ def _quarantine(namespace: str, entry: Path) -> None:
         timing.count(f"cache.{namespace}.quarantined")
     except OSError:
         _STATS.errors += 1
+        return
+    _prune_quarantine()
+
+
+def quarantine_cap() -> int:
+    """Maximum quarantined pickles kept (``REPRO_QUARANTINE_CAP`` wins)."""
+    raw = os.environ.get("REPRO_QUARANTINE_CAP", "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return QUARANTINE_CAP
+
+
+def _prune_quarantine() -> None:
+    """Evict the oldest quarantined pickles beyond :func:`quarantine_cap`.
+
+    The quarantine area is forensic evidence, not an archive: the newest
+    failures are the ones worth a post-mortem, so eviction is
+    oldest-mtime-first across all namespaces.  Races (another process
+    evicting the same file) and filesystem errors are swallowed — the cap
+    is best-effort, exactly like quarantining itself.
+    """
+    root = cache_root() / "quarantine"
+    if not root.is_dir():
+        return
+    entries = []
+    for path in root.rglob("*.pkl"):
+        try:
+            entries.append((path.stat().st_mtime, path))
+        except OSError:
+            continue
+    excess = len(entries) - quarantine_cap()
+    if excess <= 0:
+        return
+    entries.sort()
+    for _mtime, path in entries[:excess]:
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        _STATS.quarantine_evicted += 1
+        timing.count("cache.quarantine.evicted")
 
 
 def fetch_or_compute(

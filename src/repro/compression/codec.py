@@ -12,6 +12,10 @@ Formats implemented:
 - :class:`GroupCodec` — the dynamic per-group precision format of
   RawD{g}/DeltaD{g}: a 4-bit width header per group followed by
   ``group_size`` values at that width (two's complement when signed).
+  With ``checksum=True`` every group is followed by a CRC-8 of its header
+  and payload bits, the detection rung of the :mod:`repro.protect`
+  ladder: a lenient decode zero-fills and *flags* mismatching groups
+  instead of silently desynchronizing.
 - :class:`RLEZeroCodec` — the (4-bit skip, 16-bit value) token format of
   RLEz, escape tokens included.
 
@@ -51,6 +55,10 @@ class BitWriter:
             raise ValueError(f"value {value} does not fit {width} unsigned bits")
         for i in reversed(range(width)):
             self._bits.append((value >> i) & 1)
+
+    def bit_slice(self, start: int, end: int) -> "list[int]":
+        """The written 0/1 bits in ``[start, end)`` (for checksumming)."""
+        return self._bits[start:end]
 
     def __len__(self) -> int:
         return len(self._bits)
@@ -92,6 +100,30 @@ class BitReader:
     @property
     def bits_read(self) -> int:
         return self._pos
+
+    def bit_slice(self, start: int, end: int) -> "list[int]":
+        """The 0/1 bits in ``[start, end)`` without moving the cursor."""
+        if start < 0 or end > len(self._data) * 8 or start > end:
+            raise ValueError(f"bit range [{start}, {end}) out of bounds")
+        return [
+            (self._data[i // 8] >> (7 - (i % 8))) & 1 for i in range(start, end)
+        ]
+
+
+#: Per-group checksum width when :class:`GroupCodec` runs with
+#: ``checksum=True`` (CRC-8, polynomial x^8+x^2+x+1).
+CHECKSUM_BITS = 8
+
+_CRC8_POLY = 0x07
+
+
+def crc8_bits(bits: "list[int]") -> int:
+    """CRC-8 (poly 0x07, init 0) over a 0/1 bit sequence, MSB first."""
+    crc = 0
+    for b in bits:
+        crc ^= (b & 1) << 7
+        crc = ((crc << 1) ^ _CRC8_POLY) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc
 
 
 def _as_int_stream(name: str, values: np.ndarray, signed: bool) -> np.ndarray:
@@ -157,12 +189,20 @@ class Encoded:
 
 
 class GroupCodec:
-    """Dynamic per-group precision codec (the RawD/DeltaD wire format)."""
+    """Dynamic per-group precision codec (the RawD/DeltaD wire format).
 
-    def __init__(self, group_size: int = 16, signed: bool = False):
+    ``checksum=True`` appends a CRC-8 of each group's header+payload bits
+    right after the group (``CHECKSUM_BITS`` per group of overhead) — the
+    detection mechanism of :mod:`repro.protect`'s checksummed streams.
+    """
+
+    def __init__(
+        self, group_size: int = 16, signed: bool = False, checksum: bool = False
+    ):
         check_positive("group_size", group_size)
         self.group_size = group_size
         self.signed = signed
+        self.checksum = checksum
 
     def encode(self, values: np.ndarray) -> Encoded:
         """Pack a flat integer stream; tail groups are zero padded."""
@@ -173,6 +213,7 @@ class GroupCodec:
         padded[: flat.size] = flat
         for g, width in enumerate(enc.precisions):
             width = int(width)
+            start = len(writer)
             # Headers store width-1 so 4 bits cover widths 1..16.
             writer.write(width - 1, HEADER_BITS)
             chunk = padded[g * self.group_size : (g + 1) * self.group_size]
@@ -180,10 +221,15 @@ class GroupCodec:
                 v = int(v)
                 raw = _to_twos_complement(v, width) if self.signed else v
                 writer.write(raw, width)
+            if self.checksum:
+                writer.write(crc8_bits(writer.bit_slice(start, len(writer))), CHECKSUM_BITS)
         bits = len(writer)
-        if bits != enc.total_bits:
+        expected = enc.total_bits + (
+            len(enc.precisions) * CHECKSUM_BITS if self.checksum else 0
+        )
+        if bits != expected:
             raise AssertionError(
-                f"codec wrote {bits} bits but accounting says {enc.total_bits}"
+                f"codec wrote {bits} bits but accounting says {expected}"
             )
         return Encoded(data=writer.getvalue(), bits=bits, values=int(flat.size))
 
@@ -191,42 +237,110 @@ class GroupCodec:
         """Unpack back to the original flat stream (padding stripped).
 
         With ``strict=True`` (the default) any inconsistency — a truncated
-        buffer, or a bit count that disagrees with the accounting — raises
-        ``ValueError``: the stream is not what :meth:`encode` produced.
+        buffer, a bit count that disagrees with the accounting, or a group
+        checksum mismatch — raises ``ValueError``: the stream is not what
+        :meth:`encode` produced.
 
         With ``strict=False`` the decoder behaves like the hardware unit it
         models: it decodes whatever arrives, tolerating corrupted headers
         that desynchronize the stream.  Values past the point of exhaustion
         come back as zeros and no size cross-check is performed.  This is
         the entry point the fault-injection campaign drives
-        (:mod:`repro.faults`).
+        (:mod:`repro.faults`).  In checksum mode mismatching groups are
+        zero-filled; use :meth:`decode_flagged` to also learn *which*
+        groups degraded.
+        """
+        return self.decode_flagged(encoded, strict=strict)[0]
+
+    def decode_flagged(
+        self,
+        encoded: Encoded,
+        strict: bool = True,
+        suspect_bits: "tuple[tuple[int, int], ...]" = (),
+    ) -> "tuple[np.ndarray, tuple[int, ...]]":
+        """Decode and report the group indices the checksum rejected.
+
+        Returns ``(values, flagged)``.  ``flagged`` is empty without
+        checksums; with them, a lenient decode zero-fills every group whose
+        stored CRC-8 disagrees with its decoded bits — plus every group
+        past a stream exhaustion — and lists those indices so recovery
+        layers (:mod:`repro.protect.stream`) can bound the damage instead
+        of trusting silently-desynchronized values.
+
+        ``suspect_bits`` is a sequence of half-open ``(start, end)`` bit
+        ranges an upstream layer already knows are damaged (e.g. stream
+        chunks SECDED zero-filled).  Any group overlapping one is flagged
+        and zero-filled even if its CRC-8 happens to pass — a 16-bit burst
+        escapes an 8-bit CRC with probability 2^-8, and there is no reason
+        to take that bet when the damage location is known.
         """
         if strict:
             _check_encoded(encoded)
         reader = BitReader(encoded.data)
         out: list[int] = []
+        flagged: list[int] = []
         groups = -(-encoded.values // self.group_size)
+        exhausted_at: "int | None" = None
+        group_vals: list[int] = []
         try:
-            for _ in range(groups):
+            for g in range(groups):
+                group_vals = []
+                start = reader.bits_read
                 width = reader.read(HEADER_BITS) + 1
                 for _ in range(self.group_size):
                     raw = reader.read(width)
-                    out.append(
+                    group_vals.append(
                         _from_twos_complement(raw, width) if self.signed else raw
                     )
+                if self.checksum:
+                    end = reader.bits_read
+                    stored = reader.read(CHECKSUM_BITS)
+                    span_end = reader.bits_read
+                    known_bad = any(
+                        start < hi and lo < span_end for lo, hi in suspect_bits
+                    )
+                    if known_bad or stored != crc8_bits(reader.bit_slice(start, end)):
+                        if strict:
+                            raise ValueError(
+                                f"corrupt stream: checksum mismatch in group {g}"
+                            )
+                        flagged.append(g)
+                        group_vals = [0] * self.group_size
+                out.extend(group_vals)
         except EOFError:
             if strict:
                 raise ValueError(
                     f"corrupt stream: exhausted after {reader.bits_read} of "
                     f"{encoded.bits} bits"
                 ) from None
+            if not self.checksum:
+                # Without checksums the hardware unit keeps whatever values
+                # it managed to shift in before the stream ran dry; with
+                # them the partial group is unverifiable, so it zero-fills.
+                out.extend(group_vals)
+            exhausted_at = len(out) // self.group_size
         if strict and reader.bits_read != encoded.bits:
             raise ValueError(
                 f"decoded {reader.bits_read} bits, expected {encoded.bits}"
             )
+        if self.checksum:
+            # Exhaustion or an end misalignment after a checksum failure is
+            # the signature of a header desync, under which every later
+            # group decoded from the wrong offsets — and a garbage group
+            # still passes its CRC-8 with probability 2^-8.  Flag the whole
+            # tail from the first failure rather than trusting those coin
+            # flips.  (A payload-only error keeps the stream aligned and
+            # keeps the precise per-group flags.)
+            if exhausted_at is not None:
+                flagged.extend(range(exhausted_at, groups))
+            desynced = exhausted_at is not None or (
+                bool(flagged) and reader.bits_read != encoded.bits
+            )
+            if desynced and flagged:
+                flagged = list(range(flagged[0], groups))
         if len(out) < encoded.values:
             out.extend([0] * (encoded.values - len(out)))
-        return np.array(out[: encoded.values], dtype=np.int64)
+        return np.array(out[: encoded.values], dtype=np.int64), tuple(flagged)
 
 
 class RLEZeroCodec:

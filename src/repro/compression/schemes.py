@@ -189,6 +189,46 @@ class DeltaDynamic(CompressionScheme):
         return group_precisions(flat, self.group_size, signed=True).total_bits
 
 
+class RawEcc(CompressionScheme):
+    """Raw 16-bit words stored as SECDED codewords (22 bits/word).
+
+    The conventional reliability baseline: no compression, every stored
+    word individually correctable/detectable.  Sized here so protected
+    variants appear alongside the paper's schemes in Fig 5/Fig 14.
+    """
+
+    name = "Raw16-ECC"
+
+    def encoded_bits(self, fmap: np.ndarray, profiled_precision: int = 16) -> int:
+        from repro.protect.ecc import codeword_bits
+
+        return int(np.asarray(fmap).size) * codeword_bits(16)
+
+
+class DeltaProtected(CompressionScheme):
+    """DeltaD{g} under a protection policy (:mod:`repro.protect`).
+
+    Prices the full protected container of
+    :func:`repro.protect.stream.protected_bits`: SECDED keyframe anchors,
+    per-group CRC-8, and SECDED stream chunks — the storage cost of
+    bounding DeltaD16's error runs.
+    """
+
+    def __init__(self, group_size: int = 16, policy_name: str = "full"):
+        check_positive("group_size", group_size)
+        self.group_size = group_size
+        self.policy_name = policy_name
+        self.name = f"DeltaD{group_size}-P"
+
+    def encoded_bits(self, fmap: np.ndarray, profiled_precision: int = 16) -> int:
+        # Function-level import: schemes is imported by the codec that the
+        # protect package builds on, so a top-level import would cycle.
+        from repro.protect.policy import protection_policy
+        from repro.protect.stream import protected_bits
+
+        return protected_bits(fmap, protection_policy(self.policy_name), self.group_size)
+
+
 #: Named scheme registry covering every scheme in Figs 5 and 14.
 SCHEMES: dict[str, CompressionScheme] = {
     s.name: s
@@ -202,6 +242,8 @@ SCHEMES: dict[str, CompressionScheme] = {
         RawDynamic(256),
         DeltaDynamic(16),
         DeltaDynamic(256),
+        RawEcc(),
+        DeltaProtected(16),
     )
 }
 

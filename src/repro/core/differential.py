@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.nn.functional import conv2d_int, im2col
 from repro.core.deltas import reconstruct_from_deltas, spatial_deltas
-from repro.utils.validation import check_axis
+from repro.utils.validation import check_axis, check_positive
 
 #: Signature of a delta-stream hook: receives the decoded delta array and
 #: returns a (possibly corrupted) copy.  Used by :mod:`repro.faults` to
@@ -198,6 +198,94 @@ def reconstruct_map(
     if delta_hook is not None:
         arr = np.asarray(delta_hook(arr), dtype=np.int64)
     return reconstruct_from_deltas(arr, axis=axis, stride=stride)
+
+
+def keyframe_anchor_mask(
+    n: int, interval: Optional[int], stride: int = 1
+) -> np.ndarray:
+    """Boolean mask of anchor positions along a chain axis of length ``n``.
+
+    Positions whose chain index (``x // stride``) is a multiple of
+    ``interval`` are anchors — stored raw instead of as deltas, so a
+    reconstruction error cannot propagate past the next anchor.
+    ``interval=None`` (the DeltaD16 endpoint) anchors only the chain
+    heads; ``interval=1`` (the Raw16 endpoint) anchors everything.
+    """
+    if interval is not None and interval < 1:
+        raise ValueError(f"interval must be >= 1 or None, got {interval}")
+    check_positive("stride", stride)
+    chain_index = np.arange(n) // stride
+    if interval is None:
+        return chain_index == 0
+    return (chain_index % interval) == 0
+
+
+def keyframe_deltas(
+    fmap: np.ndarray,
+    interval: Optional[int] = None,
+    axis: str = "x",
+    stride: int = 1,
+) -> np.ndarray:
+    """Spatial deltas with every ``interval``-th chain position kept raw.
+
+    Identical to :func:`repro.core.deltas.spatial_deltas` except that
+    anchor positions (see :func:`keyframe_anchor_mask`) hold the raw
+    activation value rather than a difference — the keyframe mechanism of
+    :mod:`repro.protect`, bounding worst-case error-run length to
+    ``interval``.  ``interval=None`` reproduces plain spatial deltas
+    exactly; ``interval=1`` reproduces the raw map exactly.
+    """
+    check_axis("axis", axis)
+    arr = np.asarray(fmap, dtype=np.int64)
+    deltas = spatial_deltas(arr, axis=axis, stride=stride)
+    if interval is None:
+        return deltas
+    ax = arr.ndim - 1 if axis == "x" else arr.ndim - 2
+    mask = keyframe_anchor_mask(arr.shape[ax], interval, stride)
+    idx = [slice(None)] * arr.ndim
+    idx[ax] = mask
+    deltas[tuple(idx)] = arr[tuple(idx)]
+    return deltas
+
+
+def reconstruct_from_keyframes(
+    deltas: np.ndarray,
+    interval: Optional[int] = None,
+    axis: str = "x",
+    stride: int = 1,
+) -> np.ndarray:
+    """Exact inverse of :func:`keyframe_deltas`: segmented reconstruction.
+
+    Each anchor restarts its chain's prefix sum, so the cascaded adders
+    only ever accumulate at most ``interval`` consecutive deltas — which
+    is precisely why a corrupted delta damages at most ``interval`` values
+    instead of the rest of the row.
+    """
+    check_axis("axis", axis)
+    arr = np.asarray(deltas, dtype=np.int64)
+    if interval is None:
+        return reconstruct_from_deltas(arr, axis=axis, stride=stride)
+    if interval < 1:
+        raise ValueError(f"interval must be >= 1 or None, got {interval}")
+    check_positive("stride", stride)
+    if arr.ndim < 2:
+        raise ValueError(f"deltas must have >= 2 dims (H, W), got shape {arr.shape}")
+    ax = arr.ndim - 1 if axis == "x" else arr.ndim - 2
+    n = arr.shape[ax]
+    out = arr.copy()
+    if n == 0 or interval == 1:
+        return out
+    # Chains are the stride phases; segments are `interval` chain steps.
+    for phase in range(min(stride, n)):
+        chain = [slice(None)] * arr.ndim
+        chain[ax] = slice(phase, None, stride)
+        sub = out[tuple(chain)]
+        m = sub.shape[ax]
+        for seg_start in range(0, m, interval):
+            seg = [slice(None)] * arr.ndim
+            seg[ax] = slice(seg_start, min(seg_start + interval, m))
+            sub[tuple(seg)] = np.cumsum(sub[tuple(seg)], axis=ax)
+    return out
 
 
 def windows_and_deltas(

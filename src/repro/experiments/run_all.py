@@ -84,7 +84,9 @@ def main(argv: "list[str] | None" = None) -> int:
         )
     else:
         print(f"\nall {len(selected)} experiments passed")
-    return len(failures)
+    # Exit codes are 8-bit: len(failures) == 256 would wrap to a "passing"
+    # 0.  POSIX reserves 126+ for shell/signal conditions, so clamp at 125.
+    return min(len(failures), 125)
 
 
 if __name__ == "__main__":

@@ -159,6 +159,10 @@ class SweepResult:
     rows: tuple[SweepRow, ...]
     resolution: tuple[int, int]
     failures: tuple[SweepFailure, ...] = ()
+    #: True when the ``max_failures`` circuit breaker tripped: the sweep
+    #: stopped early and unattempted points are neither rows nor failures.
+    #: Completed rows were checkpointed, so ``resume`` picks up the rest.
+    aborted: bool = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -382,8 +386,15 @@ def _run_points(
     warm_args: "list[tuple]",
     policy: RetryPolicy,
     on_row: Callable[[SweepRow], None],
-) -> "tuple[dict[SweepPoint, SweepRow], list[SweepFailure]]":
-    """Execute points (pooled when possible), retrying per the policy."""
+    max_failures: Optional[int] = None,
+) -> "tuple[dict[SweepPoint, SweepRow], list[SweepFailure], bool]":
+    """Execute points (pooled when possible), retrying per the policy.
+
+    ``max_failures`` is a circuit breaker: after that many *consecutive*
+    exhausted points the sweep aborts instead of grinding through a grid
+    whose environment is broken (returns ``aborted=True``; rows completed
+    so far were already flushed through ``on_row``).
+    """
     rows: dict[SweepPoint, SweepRow] = {}
     failures: list[SweepFailure] = []
     # (args, attempts already used, last error) pending a serial retry.
@@ -403,18 +414,24 @@ def _run_points(
     else:
         pending = [(a, 0, None) for a in point_args]
 
+    consecutive = 0
     for args, used, error in pending:
         row, attempts, final_error = _attempt_serial(args, policy, used, error)
         point = args[0]
         if row is not None:
             rows[point] = row
             on_row(row)
+            consecutive = 0
         else:
             timing.count("sweep.point_failed")
             failures.append(
                 SweepFailure(point=point, error=repr(final_error), attempts=attempts)
             )
-    return rows, failures
+            consecutive += 1
+            if max_failures is not None and consecutive >= max_failures:
+                timing.count("sweep.aborted")
+                return rows, failures, True
+    return rows, failures, False
 
 
 def _run_pooled(
@@ -492,6 +509,7 @@ def run_sweep(
     retry: Optional[RetryPolicy] = None,
     checkpoint: "str | os.PathLike | None" = None,
     resume: bool = False,
+    max_failures: Optional[int] = None,
 ) -> SweepResult:
     """Run the full grid; see module docstring.
 
@@ -501,6 +519,9 @@ def run_sweep(
     in-process memoization already shares traces).  ``retry`` bounds
     per-point attempts/timeouts; ``checkpoint``/``resume`` persist and
     reload completed rows (see the checkpointing notes above).
+    ``max_failures`` aborts the sweep after that many consecutive
+    retry-exhausted points (``result.aborted``); the checkpoint holds
+    every completed row, so a later ``resume`` continues where it stopped.
     """
     policy = retry if retry is not None else DEFAULT_RETRY
     points = sweep_grid(models, accelerators, schemes, memories)
@@ -535,15 +556,19 @@ def run_sweep(
     ]
 
     failures: list[SweepFailure] = []
+    aborted = False
     with timing.timed("sweep.run"):
         if todo:
-            rows, failures = _run_points(
-                todo, max_workers, warm, warm_args, policy, on_row
+            rows, failures, aborted = _run_points(
+                todo, max_workers, warm, warm_args, policy, on_row, max_failures
             )
             done.update(rows)
     ordered = tuple(done[p] for p in points if p in done)
     return SweepResult(
-        rows=ordered, resolution=resolution, failures=tuple(failures)
+        rows=ordered,
+        resolution=resolution,
+        failures=tuple(failures),
+        aborted=aborted,
     )
 
 
@@ -570,6 +595,11 @@ def format_result(result: SweepResult) -> str:
                 f"{f.point.memory}: {f.error} (after {f.attempts} attempts)"
             )
         text = "\n".join(lines)
+    if result.aborted:
+        text += (
+            "\nABORTED: consecutive-failure limit reached; "
+            "re-run with --checkpoint/--resume to continue"
+        )
     return text
 
 
@@ -606,7 +636,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--resume", action="store_true",
         help="reload completed rows from --checkpoint and run only the rest",
     )
+    parser.add_argument(
+        "--max-failures", type=int, default=None,
+        help="abort after N consecutive failed points (default: keep going)",
+    )
     args = parser.parse_args(argv)
+    if args.max_failures is not None and args.max_failures < 1:
+        parser.error("--max-failures must be >= 1")
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
     result = run_sweep(
@@ -623,6 +659,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
         checkpoint=args.checkpoint,
         resume=args.resume,
+        max_failures=args.max_failures,
     )
     print(format_result(result))
     if "VAA" in args.accelerators:

@@ -13,16 +13,23 @@ of the row.  This package quantifies that trade-off:
 - :mod:`repro.faults.metrics` — end-to-end corruption metrics
   (corrupted values, error-run lengths, max error, PSNR);
 - :mod:`repro.faults.campaign` — the rate × site × scheme campaign
-  runner behind the ``ext_faults`` experiment.
+  runner behind the ``ext_faults`` experiment, plus the
+  protected-vs-unprotected variants (:mod:`repro.protect`) behind
+  ``ext_protection``.
 """
 
 from repro.faults.campaign import (
+    PROTECTED_CONFIGS,
     SCHEME_SITES,
     CampaignPoint,
     CampaignRow,
+    ProtectedPoint,
+    ProtectedRow,
     campaign_grid,
     run_campaign,
     run_length_amplification,
+    run_protected_campaign,
+    summarize_protected,
 )
 from repro.faults.inject import inject_deltas, inject_encoded, inject_words
 from repro.faults.metrics import (
@@ -41,12 +48,17 @@ from repro.faults.models import (
 )
 
 __all__ = [
+    "PROTECTED_CONFIGS",
     "SCHEME_SITES",
     "CampaignPoint",
     "CampaignRow",
+    "ProtectedPoint",
+    "ProtectedRow",
     "campaign_grid",
     "run_campaign",
     "run_length_amplification",
+    "run_protected_campaign",
+    "summarize_protected",
     "inject_deltas",
     "inject_encoded",
     "inject_words",

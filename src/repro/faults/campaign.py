@@ -45,6 +45,13 @@ from repro.core.differential import reconstruct_map
 from repro.faults.inject import WORD_BITS, inject_deltas, inject_encoded, inject_words
 from repro.faults.metrics import CorruptionMetrics, ErrorAccumulator
 from repro.faults.models import FaultModel, fault_model
+from repro.protect import (
+    ProtectionPolicy,
+    codeword_bits,
+    protection_policy,
+    read_protected,
+    store_protected,
+)
 from repro.utils.rng import DEFAULT_SEED, rng_for
 
 __all__ = [
@@ -54,6 +61,11 @@ __all__ = [
     "campaign_grid",
     "run_campaign",
     "run_length_amplification",
+    "PROTECTED_CONFIGS",
+    "ProtectedPoint",
+    "ProtectedRow",
+    "run_protected_campaign",
+    "summarize_protected",
 ]
 
 #: Injection sites valid for each storage scheme (see module docstring).
@@ -131,6 +143,7 @@ class _MapContext:
         self.signed = bool(self.flat.size and self.flat.min() < 0)
         self.deltas = spatial_deltas(arr)
         self._encoded: dict = {}
+        self._protected: dict = {}
 
     def encoded(self, scheme: str):
         """Packed stream for one scheme (computed once, reused everywhere)."""
@@ -144,6 +157,12 @@ class _MapContext:
             else:  # pragma: no cover - guarded by campaign_grid
                 raise ValueError(f"scheme {scheme!r} has no packed stream")
         return self._encoded[scheme]
+
+    def protected(self, policy: ProtectionPolicy):
+        """Protected container for one policy (computed once per map)."""
+        if policy not in self._protected:
+            self._protected[policy] = store_protected(self.fmap, policy)
+        return self._protected[policy]
 
 
 def _inject_one(
@@ -287,6 +306,255 @@ def summarize(rows: Sequence[CampaignRow]) -> "list[tuple[str, ...]]":
                 str(r.faults),
                 f"{m.corrupted_fraction:.2%}",
                 f"{m.mean_run_length:.1f}",
+                str(m.max_run_length),
+                f"{m.psnr_db:.1f}" if np.isfinite(m.psnr_db) else "inf",
+            )
+        )
+    return out
+
+
+#: Default protected-vs-unprotected variant grid: the two storage schemes
+#: the paper compares, each with and without its natural protection.
+PROTECTED_CONFIGS: "tuple[tuple[str, str], ...]" = (
+    ("Raw16", "none"),
+    ("Raw16", "ecc"),
+    ("DeltaD16", "none"),
+    ("DeltaD16", "checksum"),
+    ("DeltaD16", "keyframe"),
+    ("DeltaD16", "full"),
+)
+
+
+@dataclass(frozen=True)
+class ProtectedPoint:
+    """One (scheme, protection policy, fault model, rate) grid coordinate."""
+
+    scheme: str
+    policy: str
+    fault_model: str
+    rate: float
+
+
+@dataclass(frozen=True)
+class ProtectedRow:
+    """A protected grid point plus recovery accounting and corruption."""
+
+    point: ProtectedPoint
+    trials: int
+    maps: int
+    #: Stored bits exposed to faults (protection overhead included).
+    stored_bits: int
+    #: Stored bits of the same scheme with no protection at all.
+    baseline_bits: int
+    #: Fault events actually injected.
+    faults: int
+    #: ECC single-bit corrections (anchor/memory words + stream chunks).
+    corrected: int
+    #: ECC detections that were zero-filled instead of corrected.
+    detected: int
+    #: Delta groups the stream checksum rejected.
+    zeroed_groups: int
+    #: Wrong output values the recovery layer did NOT flag as suspect —
+    #: the silent-corruption count a protection scheme is judged by.
+    silent_values: int
+    metrics: CorruptionMetrics
+
+    @property
+    def overhead(self) -> float:
+        """Protected storage cost relative to the unprotected scheme."""
+        return self.stored_bits / self.baseline_bits if self.baseline_bits else 1.0
+
+
+def _resolve_policy(policy: "str | ProtectionPolicy") -> ProtectionPolicy:
+    if isinstance(policy, ProtectionPolicy):
+        return policy
+    return protection_policy(policy)
+
+
+def _inject_protected(
+    ctx: _MapContext,
+    point: ProtectedPoint,
+    policy: ProtectionPolicy,
+    model: FaultModel,
+    rng: np.random.Generator,
+) -> "tuple[np.ndarray, np.ndarray, int, int, tuple[int, int, int]]":
+    """Store one map under ``policy``, corrupt it, run recovery.
+
+    Returns ``(observed, flagged_mask, stored_bits, faults,
+    (corrected, detected, zeroed_groups))``.
+    """
+    counter = {"faults": 0}
+    if point.scheme == "Raw16":
+        if policy.word_ecc:
+
+            def hook(codes: np.ndarray) -> np.ndarray:
+                corrupted, n = inject_words(
+                    codes, point.rate, model, rng, width=codeword_bits(WORD_BITS)
+                )
+                counter["faults"] += n
+                return corrupted
+
+            memory = IDEAL_MEMORY.with_fault_hook(hook).with_ecc()
+            words, rep = memory.read_words_ecc(ctx.flat, signed=ctx.signed)
+            observed = words.reshape(ctx.fmap.shape)
+            flagged = rep.detected_mask.reshape(ctx.fmap.shape)
+            bits = ctx.flat.size * codeword_bits(WORD_BITS)
+            return observed, flagged, bits, counter["faults"], (rep.corrected, rep.detected, 0)
+
+        def raw_hook(words: np.ndarray) -> np.ndarray:
+            corrupted, n = inject_words(
+                words, point.rate, model, rng, signed=ctx.signed
+            )
+            counter["faults"] += n
+            return corrupted
+
+        memory = IDEAL_MEMORY.with_fault_hook(raw_hook)
+        observed = memory.read_words(ctx.flat).reshape(ctx.fmap.shape)
+        flagged = np.zeros(ctx.fmap.shape, dtype=bool)
+        return observed, flagged, ctx.flat.size * WORD_BITS, counter["faults"], (0, 0, 0)
+
+    if point.scheme != "DeltaD16":
+        raise ValueError(
+            f"protected campaigns support Raw16 and DeltaD16, got {point.scheme!r}"
+        )
+    pmap = ctx.protected(policy)
+
+    def anchor_hook(anchors: np.ndarray) -> np.ndarray:
+        corrupted, n = inject_words(
+            anchors,
+            point.rate,
+            model,
+            rng,
+            width=pmap.anchor_width,
+            signed=pmap.signed and not policy.word_ecc,
+        )
+        counter["faults"] += n
+        return corrupted
+
+    if policy.stream_ecc:
+
+        def stream_hook(codes):
+            corrupted, n = inject_words(
+                codes, point.rate, model, rng, width=codeword_bits(WORD_BITS)
+            )
+            counter["faults"] += n
+            return corrupted
+
+    else:
+
+        def stream_hook(encoded):
+            corrupted, n = inject_encoded(encoded, point.rate, model, rng)
+            counter["faults"] += n
+            return corrupted
+
+    observed, rep = read_protected(pmap, anchor_hook=anchor_hook, stream_hook=stream_hook)
+    return (
+        observed,
+        rep.flagged_mask,
+        pmap.stored_bits,
+        counter["faults"],
+        (rep.corrected, rep.detected, rep.zeroed_groups),
+    )
+
+
+def run_protected_campaign(
+    fmaps: Sequence[np.ndarray],
+    configs: "Sequence[tuple[str, str | ProtectionPolicy]]" = PROTECTED_CONFIGS,
+    rates: Sequence[float] = DEFAULT_RATES,
+    fault_models: Sequence[str] = DEFAULT_FAULT_MODELS,
+    trials: int = 2,
+    seed: int = DEFAULT_SEED,
+) -> "list[ProtectedRow]":
+    """Protected-vs-unprotected campaign over ``fmaps``.
+
+    Each config is ``(scheme, policy)`` with the policy given by stock
+    name or as a :class:`ProtectionPolicy` (for keyframe-interval sweeps).
+    Faults hit exactly what each variant stores — raw words or SECDED
+    codewords for Raw16, anchor words plus the packed (possibly
+    ECC-chunked) stream for DeltaD16 — at the same per-stored-bit rate,
+    so variants pay for their overhead with proportionally more exposure.
+    Deterministic under ``seed`` like :func:`run_campaign`.
+    """
+    if not fmaps:
+        raise ValueError("run_protected_campaign needs at least one feature map")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    contexts = [_MapContext(f) for f in fmaps]
+    baselines = {
+        "Raw16": sum(c.flat.size * WORD_BITS for c in contexts),
+        "DeltaD16": sum(c.encoded("DeltaD16")[1].bits for c in contexts),
+    }
+    rows = []
+    for scheme, policy_spec in configs:
+        policy = _resolve_policy(policy_spec)
+        for model_name in fault_models:
+            model = fault_model(model_name)
+            for rate in rates:
+                point = ProtectedPoint(scheme, policy.name, model_name, float(rate))
+                acc = ErrorAccumulator()
+                stored_bits = 0
+                faults = 0
+                corrected = 0
+                detected = 0
+                zeroed = 0
+                silent = 0
+                for trial in range(trials):
+                    for index, ctx in enumerate(contexts):
+                        rng = rng_for(
+                            seed,
+                            "protect",
+                            scheme,
+                            policy.name,
+                            model_name,
+                            rate,
+                            trial,
+                            index,
+                        )
+                        observed, flagged, bits, n, (c, d, z) = _inject_protected(
+                            ctx, point, policy, model, rng
+                        )
+                        acc.add(ctx.fmap, observed)
+                        stored_bits += bits
+                        faults += n
+                        corrected += c
+                        detected += d
+                        zeroed += z
+                        silent += int(((observed != ctx.fmap) & ~flagged).sum())
+                rows.append(
+                    ProtectedRow(
+                        point=point,
+                        trials=trials,
+                        maps=len(contexts),
+                        stored_bits=stored_bits,
+                        baseline_bits=baselines[scheme] * trials,
+                        faults=faults,
+                        corrected=corrected,
+                        detected=detected,
+                        zeroed_groups=zeroed,
+                        silent_values=silent,
+                        metrics=acc.finish(),
+                    )
+                )
+    return rows
+
+
+def summarize_protected(rows: Sequence[ProtectedRow]) -> "list[tuple[str, ...]]":
+    """Protected rows flattened for table formatting."""
+    out = []
+    for r in rows:
+        m = r.metrics
+        out.append(
+            (
+                r.point.scheme,
+                r.point.policy,
+                r.point.fault_model,
+                f"{r.point.rate:g}",
+                f"{r.overhead:.2f}x",
+                str(r.faults),
+                str(r.corrected),
+                str(r.detected),
+                str(r.silent_values),
+                f"{m.corrupted_fraction:.2%}",
                 str(m.max_run_length),
                 f"{m.psnr_db:.1f}" if np.isfinite(m.psnr_db) else "inf",
             )

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.bits import bits_to_words, words_to_bits
 from repro.utils.validation import check_in, check_positive
 
 __all__ = [
@@ -40,29 +41,12 @@ __all__ = [
     "fault_model",
     "select_events",
     "inject_bits",
+    # Re-exported from repro.utils.bits so existing fault-campaign callers
+    # keep importing them from here; the canonical home moved so the ECC
+    # layer (repro.protect) can share them without importing this package.
     "words_to_bits",
     "bits_to_words",
 ]
-
-
-def words_to_bits(words: np.ndarray, width: int) -> np.ndarray:
-    """Explode unsigned ``width``-bit words into a flat MSB-first bit array."""
-    check_positive("width", width)
-    arr = np.asarray(words, dtype=np.int64).reshape(-1)
-    if arr.size and (arr.min() < 0 or arr.max() >= (1 << width)):
-        raise ValueError(f"words do not fit {width} unsigned bits")
-    shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
-    return ((arr[:, None] >> shifts) & 1).astype(np.uint8).reshape(-1)
-
-
-def bits_to_words(bits: np.ndarray, width: int) -> np.ndarray:
-    """Inverse of :func:`words_to_bits` (bit count must divide evenly)."""
-    check_positive("width", width)
-    flat = np.asarray(bits, dtype=np.int64).reshape(-1)
-    if flat.size % width:
-        raise ValueError(f"{flat.size} bits is not a whole number of {width}-bit words")
-    weights = np.int64(1) << np.arange(width - 1, -1, -1, dtype=np.int64)
-    return (flat.reshape(-1, width) * weights).sum(axis=1)
 
 
 def select_events(n_bits: int, rate: float, rng: np.random.Generator) -> np.ndarray:

@@ -1,0 +1,177 @@
+"""SECDED (single-error-correct, double-error-detect) word protection.
+
+Extended Hamming code over stored activation words, the Hamming(72,64)
+construction scaled to the word widths this model stores (a 16-bit
+activation word becomes a 22-bit codeword: 5 Hamming parity bits plus one
+overall parity bit).  This is the standard DRAM/SRAM ECC organization and
+the "ECC" leg of the protection ladder in :mod:`repro.protect`:
+
+- syndrome 0, overall parity even  → clean word;
+- overall parity odd               → single-bit error, corrected (the
+  flipped bit may be the overall parity bit itself, in which case the
+  data is already intact);
+- syndrome ≠ 0, overall parity even → double-bit error, *detected* but
+  uncorrectable — the word is zero-filled and flagged so downstream
+  recovery (checksums, keyframes) can bound the damage.
+
+Three or more flips in one codeword can alias to a valid single-error
+syndrome and silently miscorrect — inherent to SECDED and measured, not
+hidden, by the protected fault campaigns.
+
+Everything is vectorized over the word array: codewords are built by
+scattering data bits into non-power-of-two Hamming positions and reading
+parities off a positions-by-syndrome bit matrix, so encode/decode cost is
+a handful of numpy passes regardless of word count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.utils.bits import bits_to_words, words_to_bits
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "SecdedReport",
+    "codeword_bits",
+    "parity_bits",
+    "secded_encode",
+    "secded_decode",
+]
+
+
+@lru_cache(maxsize=None)
+def _layout(width: int) -> tuple:
+    """Hamming layout for ``width`` data bits.
+
+    Returns ``(r, n_hamming, data_positions, parity_positions, pos_bits)``
+    where positions are 1-indexed codeword positions (powers of two hold
+    parity), and ``pos_bits[p-1, j]`` is bit ``j`` of position ``p`` — the
+    syndrome contribution matrix.
+    """
+    check_positive("width", width)
+    r = 1
+    while (1 << r) < width + r + 1:
+        r += 1
+    n_hamming = width + r
+    positions = np.arange(1, n_hamming + 1)
+    is_parity = (positions & (positions - 1)) == 0
+    data_pos = positions[~is_parity]
+    parity_pos = positions[is_parity]
+    pos_bits = ((positions[:, None] >> np.arange(r)) & 1).astype(np.uint8)
+    return r, n_hamming, data_pos, parity_pos, pos_bits
+
+
+def parity_bits(width: int) -> int:
+    """Check bits per ``width``-bit word: Hamming parities + overall parity."""
+    return _layout(width)[0] + 1
+
+
+def codeword_bits(width: int) -> int:
+    """Stored bits per ``width``-bit word under SECDED (16 → 22)."""
+    return width + parity_bits(width)
+
+
+def _mask_signed(arr: np.ndarray, width: int, signed: bool) -> np.ndarray:
+    if not signed:
+        if arr.size and arr.min() < 0:
+            raise ValueError("unsigned SECDED encoding requires non-negative words")
+        return arr
+    lo, hi = -(1 << (width - 1)), (1 << width) - 1
+    if arr.size and (arr.min() < lo or arr.max() > hi):
+        raise ValueError(f"values do not fit {width}-bit storage words")
+    return arr & ((1 << width) - 1)
+
+
+def _unmask_signed(arr: np.ndarray, width: int, signed: bool) -> np.ndarray:
+    if not signed:
+        return arr
+    sign_bit = np.int64(1) << (width - 1)
+    return np.where(arr & sign_bit, arr - (np.int64(1) << width), arr)
+
+
+@dataclass(frozen=True)
+class SecdedReport:
+    """Outcome of one SECDED decode pass over a word array."""
+
+    #: Codewords decoded.
+    words: int
+    #: Single-bit errors corrected (data recovered exactly).
+    corrected: int
+    #: Double-bit errors detected but uncorrectable (words zero-filled).
+    detected: int
+    #: Boolean mask over the decoded array: True where detection fired.
+    detected_mask: np.ndarray
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SecdedReport):
+            return NotImplemented
+        return (
+            self.words == other.words
+            and self.corrected == other.corrected
+            and self.detected == other.detected
+            and np.array_equal(self.detected_mask, other.detected_mask)
+        )
+
+
+def secded_encode(
+    words: np.ndarray, width: int = 16, signed: bool = False
+) -> np.ndarray:
+    """Encode ``width``-bit words into SECDED codewords (same shape).
+
+    ``signed`` selects a two's-complement data interpretation; codewords
+    themselves are always unsigned ``codeword_bits(width)``-bit integers,
+    which is the representation fault injectors corrupt.
+    """
+    r, n_hamming, data_pos, parity_pos, pos_bits = _layout(width)
+    arr = np.asarray(words, dtype=np.int64)
+    raw = _mask_signed(arr.reshape(-1), width, signed)
+    data = words_to_bits(raw, width).reshape(-1, width)
+    code = np.zeros((data.shape[0], n_hamming), dtype=np.uint8)
+    code[:, data_pos - 1] = data
+    # With parity positions still zero the syndrome is the data
+    # contribution alone; position 2^j touches only syndrome bit j, so
+    # writing the syndrome into the parity slots zeroes the total.
+    code[:, parity_pos - 1] = ((code.astype(np.int64) @ pos_bits) % 2).astype(np.uint8)
+    overall = code.sum(axis=1, dtype=np.int64) % 2
+    full = np.concatenate([code, overall[:, None].astype(np.uint8)], axis=1)
+    return bits_to_words(full.reshape(-1), n_hamming + 1).reshape(arr.shape)
+
+
+def secded_decode(
+    codes: np.ndarray, width: int = 16, signed: bool = False
+) -> tuple[np.ndarray, SecdedReport]:
+    """Decode codewords back to data words, correcting what SECDED can.
+
+    Returns ``(words, report)``; detected-uncorrectable words come back as
+    zeros (the graceful-degradation ladder's first rung) with their
+    positions marked in ``report.detected_mask``.
+    """
+    r, n_hamming, data_pos, _, pos_bits = _layout(width)
+    arr = np.asarray(codes, dtype=np.int64)
+    bits = words_to_bits(arr.reshape(-1), n_hamming + 1).reshape(-1, n_hamming + 1)
+    ham = bits[:, :n_hamming].copy()
+    syn_bits = (ham.astype(np.int64) @ pos_bits) % 2
+    syndrome = syn_bits @ (np.int64(1) << np.arange(r))
+    odd_parity = bits.sum(axis=1, dtype=np.int64) % 2 == 1
+    # Odd parity with a valid syndrome: correct that bit (syndrome 0 means
+    # the overall parity bit itself flipped — data already intact).
+    correctable = odd_parity & (syndrome <= n_hamming)
+    fix = np.flatnonzero(correctable & (syndrome > 0))
+    ham[fix, syndrome[fix] - 1] ^= 1
+    # Even parity with a nonzero syndrome is the classic double error; an
+    # odd-weight multi-error pointing past the codeword is also detected.
+    detected = (~odd_parity & (syndrome != 0)) | (odd_parity & (syndrome > n_hamming))
+    out = bits_to_words(ham[:, data_pos - 1].reshape(-1), width)
+    out = _unmask_signed(out, width, signed)
+    out[detected] = 0
+    report = SecdedReport(
+        words=int(arr.size),
+        corrected=int(correctable.sum()),
+        detected=int(detected.sum()),
+        detected_mask=detected.reshape(arr.shape),
+    )
+    return out.reshape(arr.shape), report

@@ -1,0 +1,94 @@
+"""Composable protection policies for stored activation maps.
+
+A :class:`ProtectionPolicy` names one combination of the three mechanisms
+this package models, each attacking a different failure mode of Diffy's
+DeltaD16 storage win:
+
+- ``word_ecc`` — SECDED codewords (:mod:`repro.protect.ecc`) on raw words:
+  activation memory words for Raw16 storage, keyframe anchor words for
+  protected delta storage.
+- ``stream_ecc`` — SECDED over the packed delta bitstream itself, chunked
+  into 16-bit words (corrects single-bit stream hits before the decoder
+  ever sees them).
+- ``group_checksum`` — CRC-8 per dynamic-precision group
+  (:class:`repro.compression.codec.GroupCodec` with ``checksum=True``):
+  detects what ECC missed or could not correct; mismatching groups are
+  zero-filled and flagged.
+- ``keyframe_interval`` — every K-th chain position stored raw
+  (:func:`repro.core.differential.keyframe_deltas`): bounds the error run
+  a surviving corrupted delta can cause to K values.  ``None`` is the
+  paper's DeltaD16 (runs unbounded); ``1`` degenerates to Raw16.
+
+The stock policies cover the corners the ``ext_protection`` experiment
+sweeps; arbitrary combinations can be constructed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ProtectionPolicy", "PROTECTION_POLICIES", "protection_policy"]
+
+#: Keyframe interval of the stock "keyframe"/"full" policies: an error
+#: run is capped at 8 values for roughly one extra raw word per 8 deltas.
+DEFAULT_KEYFRAME_INTERVAL = 8
+
+
+@dataclass(frozen=True)
+class ProtectionPolicy:
+    """One named combination of protection mechanisms."""
+
+    name: str
+    word_ecc: bool = False
+    stream_ecc: bool = False
+    group_checksum: bool = False
+    keyframe_interval: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.keyframe_interval is not None and self.keyframe_interval < 1:
+            raise ValueError(
+                f"keyframe_interval must be >= 1 or None, got {self.keyframe_interval}"
+            )
+
+    @property
+    def protects(self) -> bool:
+        """Whether any mechanism is enabled at all."""
+        return bool(
+            self.word_ecc
+            or self.stream_ecc
+            or self.group_checksum
+            or self.keyframe_interval is not None
+        )
+
+
+#: Stock policies, from the unprotected baseline to the full ladder.
+PROTECTION_POLICIES: "dict[str, ProtectionPolicy]" = {
+    p.name: p
+    for p in (
+        ProtectionPolicy("none"),
+        ProtectionPolicy("ecc", word_ecc=True),
+        ProtectionPolicy("checksum", group_checksum=True),
+        ProtectionPolicy(
+            "keyframe", keyframe_interval=DEFAULT_KEYFRAME_INTERVAL
+        ),
+        ProtectionPolicy(
+            "full",
+            word_ecc=True,
+            stream_ecc=True,
+            group_checksum=True,
+            keyframe_interval=DEFAULT_KEYFRAME_INTERVAL,
+        ),
+    )
+}
+
+
+def protection_policy(name: str) -> ProtectionPolicy:
+    """Look up a stock policy by name."""
+    try:
+        return PROTECTION_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protection policy {name!r}; "
+            f"available: {sorted(PROTECTION_POLICIES)}"
+        ) from None

@@ -38,6 +38,7 @@ _EXPERIMENT_MODULES: "tuple[tuple[str, str], ...]" = (
     ("ablations", "ablations"),
     ("ext_temporal", "ext_temporal"),
     ("ext_faults", "ext_faults"),
+    ("ext_protection", "ext_protection"),
 )
 
 

@@ -10,6 +10,33 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.validation import check_positive
+
+
+def words_to_bits(words: np.ndarray, width: int) -> np.ndarray:
+    """Explode unsigned ``width``-bit words into a flat MSB-first bit array.
+
+    The bit order matches :class:`repro.compression.codec.BitWriter`, which
+    is what lets fault models and ECC codecs share one bit-level view of
+    stored words.
+    """
+    check_positive("width", width)
+    arr = np.asarray(words, dtype=np.int64).reshape(-1)
+    if arr.size and (arr.min() < 0 or arr.max() >= (1 << width)):
+        raise ValueError(f"words do not fit {width} unsigned bits")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+    return ((arr[:, None] >> shifts) & 1).astype(np.uint8).reshape(-1)
+
+
+def bits_to_words(bits: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`words_to_bits` (bit count must divide evenly)."""
+    check_positive("width", width)
+    flat = np.asarray(bits, dtype=np.int64).reshape(-1)
+    if flat.size % width:
+        raise ValueError(f"{flat.size} bits is not a whole number of {width}-bit words")
+    weights = np.int64(1) << np.arange(width - 1, -1, -1, dtype=np.int64)
+    return (flat.reshape(-1, width) * weights).sum(axis=1)
+
 
 def bits_for_magnitude(values: np.ndarray) -> np.ndarray:
     """Number of magnitude bits needed per element (0 for a zero value).

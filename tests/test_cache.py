@@ -177,3 +177,43 @@ class TestCropKeyNormalization:
         assert a is b, "normalized keys must hit the same memo entry"
         trace_entries = list((fresh_cache / "traces").rglob("*.pkl"))
         assert len(trace_entries) == 1
+
+
+class TestQuarantineCap:
+    """The quarantine area keeps the newest evidence, bounded in size."""
+
+    def _quarantine_n(self, n, start_mtime=1000):
+        import os
+
+        for i in range(n):
+            digest = f"{i:040d}"
+            entry = store._entry_path("ns", digest)
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            entry.write_bytes(b"not a pickle")
+            os.utime(entry, (start_mtime + i, start_mtime + i))
+            store._quarantine("ns", entry)
+
+    def test_oldest_evicted_beyond_cap(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_CAP", "5")
+        self._quarantine_n(9)
+        kept = sorted(p.stem for p in (fresh_cache / "quarantine").rglob("*.pkl"))
+        assert kept == [f"{i:040d}" for i in range(4, 9)], (
+            "the newest five by mtime must survive"
+        )
+        stats = store.cache_stats()
+        assert stats.quarantined == 9
+        assert stats.quarantine_evicted == 4
+
+    def test_under_cap_nothing_evicted(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_QUARANTINE_CAP", "5")
+        self._quarantine_n(3)
+        assert len(list((fresh_cache / "quarantine").rglob("*.pkl"))) == 3
+        assert store.cache_stats().quarantine_evicted == 0
+
+    def test_cap_env_override_and_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUARANTINE_CAP", raising=False)
+        assert store.quarantine_cap() == store.QUARANTINE_CAP == 32
+        monkeypatch.setenv("REPRO_QUARANTINE_CAP", "7")
+        assert store.quarantine_cap() == 7
+        monkeypatch.setenv("REPRO_QUARANTINE_CAP", "not-a-number")
+        assert store.quarantine_cap() == store.QUARANTINE_CAP

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compression.codec import (
+    CHECKSUM_BITS,
     BitReader,
     BitWriter,
     GroupCodec,
@@ -199,3 +200,94 @@ class TestInputValidation:
         bad = type(encoded)(data=encoded.data, bits=-1, values=encoded.values)
         with pytest.raises(ValueError):
             codec.decode(bad)
+
+
+def _flip_stream_bit(encoded, bit):
+    """Flip one bit (MSB-first position) of an Encoded payload."""
+    data = bytearray(encoded.data)
+    data[bit // 8] ^= 0x80 >> (bit % 8)
+    return type(encoded)(data=bytes(data), bits=encoded.bits, values=encoded.values)
+
+
+class TestChecksummedGroupCodec:
+    """CRC-8 per group: the detection rung of the protection ladder."""
+
+    @given(
+        st.lists(st.integers(-32768, 32767), min_size=1, max_size=120),
+        st.sampled_from([4, 16]),
+    )
+    @settings(max_examples=40)
+    def test_clean_roundtrip_and_no_flags(self, values, group):
+        codec = GroupCodec(group_size=group, signed=True, checksum=True)
+        arr = np.array(values)
+        encoded = codec.encode(arr)
+        decoded, flagged = codec.decode_flagged(encoded)
+        assert np.array_equal(decoded, arr)
+        assert flagged == ()
+
+    @given(st.lists(st.integers(-32768, 32767), min_size=1, max_size=100))
+    @settings(max_examples=30)
+    def test_checksum_overhead_is_8_bits_per_group(self, values):
+        arr = np.array(values)
+        plain = GroupCodec(group_size=16, signed=True).encode(arr)
+        summed = GroupCodec(group_size=16, signed=True, checksum=True).encode(arr)
+        groups = -(-arr.size // 16)
+        assert summed.bits == plain.bits + groups * CHECKSUM_BITS
+
+    def test_payload_flip_flags_exactly_that_group(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(-500, 500, size=64)
+        codec = GroupCodec(group_size=16, signed=True, checksum=True)
+        encoded = codec.encode(arr)
+        # Bit just past group 0's header lands in its first value: the
+        # stream stays aligned, so only group 0 should degrade.
+        corrupt = _flip_stream_bit(encoded, 4 + 1)
+        decoded, flagged = codec.decode_flagged(corrupt, strict=False)
+        assert flagged == (0,)
+        assert np.all(decoded[:16] == 0), "rejected group must zero-fill"
+        assert np.array_equal(decoded[16:], arr[16:]), "later groups intact"
+
+    def test_strict_decode_raises_on_mismatch(self):
+        arr = np.arange(-32, 32)
+        codec = GroupCodec(group_size=16, signed=True, checksum=True)
+        corrupt = _flip_stream_bit(codec.encode(arr), 4 + 1)
+        with pytest.raises(ValueError, match="checksum"):
+            codec.decode(corrupt)
+
+    def test_header_flip_flags_the_whole_tail(self):
+        """A corrupted width header desynchronizes every later group; the
+        decoder must flag the full tail instead of trusting CRC coin flips."""
+        rng = np.random.default_rng(1)
+        arr = rng.integers(-500, 500, size=96)
+        codec = GroupCodec(group_size=16, signed=True, checksum=True)
+        encoded = codec.encode(arr)
+        decoded, flagged = codec.decode_flagged(
+            _flip_stream_bit(encoded, 0), strict=False
+        )
+        groups = -(-arr.size // 16)
+        assert flagged, "header damage must be detected"
+        assert flagged == tuple(range(flagged[0], groups)), (
+            "desync must flag a contiguous tail"
+        )
+        for g in flagged:
+            assert np.all(decoded[g * 16 : (g + 1) * 16] == 0)
+
+    def test_suspect_bits_overrides_a_passing_crc(self):
+        """Known-damaged bit ranges flag their groups even when the CRC
+        happens to pass (the 2^-8 escape path)."""
+        arr = np.arange(-32, 32)
+        codec = GroupCodec(group_size=16, signed=True, checksum=True)
+        encoded = codec.encode(arr)
+        decoded, flagged = codec.decode_flagged(
+            encoded, strict=False, suspect_bits=((0, 1),)
+        )
+        assert flagged == (0,)
+        assert np.all(decoded[:16] == 0)
+        assert np.array_equal(decoded[16:], arr[16:])
+
+    def test_without_checksum_flags_stay_empty(self):
+        arr = np.arange(-32, 32)
+        codec = GroupCodec(group_size=16, signed=True)
+        decoded, flagged = codec.decode_flagged(codec.encode(arr))
+        assert flagged == ()
+        assert np.array_equal(decoded, arr)

@@ -8,9 +8,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.deltas import spatial_deltas
 from repro.core.differential import (
     DifferentialConv2d,
     differential_conv2d,
+    keyframe_anchor_mask,
+    keyframe_deltas,
+    reconstruct_from_keyframes,
     windows_and_deltas,
 )
 from repro.nn.functional import conv2d_int
@@ -121,3 +125,62 @@ class TestWindowsAndDeltas:
         # For every x >= 1: delta window == raw[x] - raw[x-1] elementwise.
         diff = raw[:, 1:] - raw[:, :-1]
         assert np.array_equal(deltas[:, 1:], diff)
+
+
+class TestKeyframes:
+    """Keyframe anchoring: exact roundtrips, exact endpoints, bounded damage."""
+
+    @given(
+        st.integers(1, 40),
+        st.one_of(st.none(), st.integers(1, 12)),
+    )
+    @settings(max_examples=60)
+    def test_anchor_mask_period(self, n, interval):
+        mask = keyframe_anchor_mask(n, interval)
+        assert mask.shape == (n,)
+        assert mask[0], "chain heads are always anchors"
+        if interval is None:
+            assert mask.sum() == 1
+        else:
+            assert np.array_equal(np.flatnonzero(mask) % interval, np.zeros(mask.sum()))
+
+    @pytest.mark.parametrize("interval", [None, 1, 2, 3, 8, 100])
+    @pytest.mark.parametrize("axis", ["x", "y"])
+    def test_roundtrip_exact(self, interval, axis):
+        rng = rng_for(11, "kf", str(interval), axis)
+        x = rng.integers(-2000, 2000, (3, 9, 14))
+        deltas = keyframe_deltas(x, interval, axis=axis)
+        assert np.array_equal(reconstruct_from_keyframes(deltas, interval, axis=axis), x)
+
+    def test_interval_none_is_plain_spatial_deltas(self):
+        rng = rng_for(12, "kf-none")
+        x = rng.integers(-2000, 2000, (2, 7, 11))
+        assert np.array_equal(keyframe_deltas(x, None), spatial_deltas(x))
+
+    def test_interval_one_is_the_raw_map(self):
+        rng = rng_for(13, "kf-one")
+        x = rng.integers(-2000, 2000, (2, 7, 11))
+        assert np.array_equal(keyframe_deltas(x, 1), x)
+
+    @pytest.mark.parametrize("interval", [2, 4, 8])
+    def test_corruption_contained_to_one_segment(self, interval):
+        """One corrupted delta damages at most ``interval`` values and
+        never crosses the next anchor — the protection layer's bound."""
+        rng = rng_for(14, "kf-contain", str(interval))
+        x = rng.integers(-2000, 2000, (1, 4, 32))
+        deltas = keyframe_deltas(x, interval)
+        hit = interval + 1  # a non-anchor position
+        deltas[0, 0, hit] += 1000
+        wrong = reconstruct_from_keyframes(deltas, interval) != x
+        assert wrong.any()
+        cols = np.flatnonzero(wrong.any(axis=(0, 1)))
+        assert cols.min() >= hit
+        next_anchor = ((hit // interval) + 1) * interval
+        assert cols.max() < next_anchor, "damage must stop at the next anchor"
+        assert cols.size <= interval
+
+    def test_strided_chains_roundtrip(self):
+        rng = rng_for(15, "kf-stride")
+        x = rng.integers(-2000, 2000, (2, 5, 24))
+        deltas = keyframe_deltas(x, 4, stride=2)
+        assert np.array_equal(reconstruct_from_keyframes(deltas, 4, stride=2), x)

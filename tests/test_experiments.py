@@ -217,6 +217,32 @@ class TestExtFaults:
         assert "DeltaD16" in text and "amplification" in text
 
 
+class TestExtProtection:
+    def test_protected_campaign_over_real_traces(self):
+        from repro.experiments import ext_protection
+
+        result = ext_protection.run(
+            model="DnCNN",
+            crop=48,
+            rates=(1e-4,),
+            fault_models=("flip1",),
+            trials=1,
+        )
+        assert result.stored_values > 0
+        assert result.raw_ecc_silent == 0, (
+            "SECDED Raw16 must show zero silent corruptions under single flips"
+        )
+        assert result.keyframe_bound_ok, (
+            "ECC-anchored keyframes must bound measured error runs to K"
+        )
+        assert result.full_ladder_overhead > 1.0
+        # Protected schemes are priced in the paper's own comparisons.
+        assert result.footprints["Raw16-ECC"] == pytest.approx(22 / 16)
+        assert result.footprints["DeltaD16-P"] > result.footprints["DeltaD16"]
+        text = ext_protection.format_result(result)
+        assert "DeltaD16-P" in text and "kf2e" in text
+
+
 class TestRunAll:
     def test_registry_complete(self):
         # Every paper table/figure id is present.
@@ -225,7 +251,7 @@ class TestRunAll:
             "table3", "table4", "fig11", "fig12", "fig13", "table5",
             "fig14", "fig15", "table6", "table7", "fig16", "fig17",
             "fig18", "fig19", "fig20", "ablations", "ext_temporal",
-            "ext_faults",
+            "ext_faults", "ext_protection",
         ):
             assert key in run_all.EXPERIMENTS
 
@@ -263,6 +289,21 @@ class TestRunAll:
         monkeypatch.setattr(run_all, "EXPERIMENTS", {"ok": lambda: None})
         assert run_all.main([]) == 0
         assert "all 1 experiments passed" in capsys.readouterr().out
+
+    def test_exit_code_clamped_to_125(self, capsys, monkeypatch):
+        """256 failures must not wrap an 8-bit exit status back to 0, and
+        the clamp stays below the 126+ range POSIX reserves for the shell."""
+
+        def broken():
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            run_all,
+            "EXPERIMENTS",
+            {f"exp{i:03d}": broken for i in range(256)},
+        )
+        assert run_all.main([]) == 125
+        capsys.readouterr()
 
 
 class TestPerLayerStatistic:

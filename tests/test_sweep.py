@@ -251,3 +251,101 @@ class TestCheckpointResume:
         lines = ck.read_text().splitlines()
         assert len(lines) == 1 + len(result.rows)
         assert "garbage" not in ck.read_text()
+
+
+class TestCircuitBreaker:
+    """--max-failures: stop burning the grid on consecutive failures."""
+
+    KWARGS = dict(
+        models=("DnCNN", "FFDNet"),
+        accelerators=("VAA", "Diffy"),
+        trace_count=1,
+        crop=32,
+        max_workers=0,
+    )
+    FAST_RETRY = RetryPolicy(attempts=1, backoff_s=0.001)
+
+    def test_aborts_after_n_consecutive_failures(self, monkeypatch):
+        calls = []
+
+        def always_fails(args):
+            calls.append(args[0])
+            raise RuntimeError("dead environment")
+
+        monkeypatch.setattr(sweep, "_simulate_point", always_fails)
+        result = run_sweep(
+            **self.KWARGS, retry=self.FAST_RETRY, max_failures=2
+        )
+        assert result.aborted is True
+        assert len(result.failures) == 2, "breaker trips at exactly N"
+        assert len(calls) == 2, "remaining grid points must not run"
+        assert "ABORTED" in format_result(result)
+
+    def test_success_resets_the_counter(self, monkeypatch):
+        real = sweep._simulate_point
+        n = [0]
+
+        def alternating(args):
+            n[0] += 1
+            if n[0] % 2 == 1:
+                raise RuntimeError("flaky")
+            return real(args)
+
+        monkeypatch.setattr(sweep, "_simulate_point", alternating)
+        result = run_sweep(
+            **self.KWARGS, retry=self.FAST_RETRY, max_failures=2
+        )
+        assert result.aborted is False, "non-consecutive failures must not trip"
+        assert len(result.failures) == 2
+        assert len(result.rows) == 2
+
+    def test_unset_limit_never_aborts(self, monkeypatch):
+        monkeypatch.setattr(
+            sweep,
+            "_simulate_point",
+            lambda args: (_ for _ in ()).throw(RuntimeError("dead")),
+        )
+        result = run_sweep(**self.KWARGS, retry=self.FAST_RETRY)
+        assert result.aborted is False
+        assert len(result.failures) == 4, "every grid point still attempted"
+
+    def test_abort_flushes_checkpoint_and_resume_completes(
+        self, tmp_path, monkeypatch
+    ):
+        """The breaker's contract: completed rows survive the abort and a
+        resumed run finishes the grid without recomputing them."""
+        real = sweep._simulate_point
+        n = [0]
+
+        def first_ok_then_dead(args):
+            n[0] += 1
+            if n[0] == 1:
+                return real(args)
+            raise RuntimeError("environment died after the first point")
+
+        ck = tmp_path / "sweep.jsonl"
+        monkeypatch.setattr(sweep, "_simulate_point", first_ok_then_dead)
+        aborted = run_sweep(
+            **self.KWARGS, retry=self.FAST_RETRY, max_failures=2, checkpoint=ck
+        )
+        assert aborted.aborted and len(aborted.rows) == 1
+        lines = ck.read_text().splitlines()
+        assert len(lines) == 2, "meta + the one completed row must be on disk"
+
+        recomputed = []
+        monkeypatch.setattr(
+            sweep,
+            "_simulate_point",
+            lambda args: recomputed.append(args[0]) or real(args),
+        )
+        resumed = run_sweep(**self.KWARGS, checkpoint=ck, resume=True)
+        assert resumed.aborted is False
+        assert len(resumed.rows) == 4
+        assert aborted.rows[0].point not in recomputed, (
+            "the checkpointed row must not recompute"
+        )
+
+    def test_cli_rejects_non_positive_limit(self, capsys):
+        with pytest.raises(SystemExit):
+            sweep.main(["--max-failures", "0", "--crop", "32"])
+        assert "--max-failures" in capsys.readouterr().err
