@@ -1,0 +1,128 @@
+"""Offered-load vs goodput smoke benchmark for the serving simulation.
+
+Sweeps the open-loop offered load across multiples of VAA's single-frame
+capacity and serves the identical workload on every engine, recording the
+resulting goodput/shed/p99 curve into ``BENCH_serve.json``.  Exits
+non-zero if Diffy's goodput ever falls below VAA's at the same offered
+load — the serving-level restatement of the paper's speedup claim, and
+the invariant this benchmark exists to guard.
+
+Virtual-clock simulation: the numbers are deterministic and immune to
+noisy CI runners (only the one-time trace/pricing step costs wall time).
+
+Usage::
+
+    python benchmarks/serve_bench.py [--model IRCNN] [--crop 48] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.latency import DEFAULT_ENGINES, measure_service_times  # noqa: E402
+from repro.serve.service import ServeConfig, serve_workload  # noqa: E402
+from repro.serve.workload import WorkloadSpec, generate_requests  # noqa: E402
+from repro.utils.rng import DEFAULT_SEED  # noqa: E402
+
+LOAD_FACTORS = (0.5, 1.0, 1.5, 2.0)
+WORKERS = 2
+FRAMES_PER_SESSION = 6
+
+
+def sweep(model: str, crop: int, seed: int) -> dict:
+    times = measure_service_times(model, crop=crop, seed=seed)
+    unit = times["VAA"].cold_s
+    points = []
+    for factor in LOAD_FACTORS:
+        spec = WorkloadSpec(
+            duration_s=40.0 * unit,
+            session_rate=factor * WORKERS / unit / FRAMES_PER_SESSION,
+            frames_per_session=FRAMES_PER_SESSION,
+            frame_interval_s=2.0 * unit,
+            seed=seed,
+        )
+        requests = generate_requests(spec)
+        config = ServeConfig(
+            workers=WORKERS,
+            max_batch=4,
+            max_wait_s=0.25 * unit,
+            queue_capacity=16,
+            deadline_s=4.0 * unit,
+            state_capacity_bytes=8 * times["VAA"].state_bytes,
+        )
+        point = {
+            "load_factor": factor,
+            "offered_rps": len(requests) / spec.duration_s,
+            "engines": {},
+        }
+        for engine in DEFAULT_ENGINES:
+            report = serve_workload(
+                requests, times[engine], config, duration_s=spec.duration_s
+            )
+            point["engines"][engine] = {
+                "goodput_rps": report.goodput_rps,
+                "shed_rate": report.shed_rate,
+                "p99_ms": report.p99_ms,
+                "warm_fraction": report.warm_fraction,
+            }
+        points.append(point)
+    return {
+        "model": model,
+        "crop": crop,
+        "seed": seed,
+        "workers": WORKERS,
+        "vaa_cold_s": unit,
+        "points": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="IRCNN")
+    parser.add_argument("--crop", type=int, default=48)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_serve.json"),
+        help="where to write the result JSON",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the result JSON to stdout"
+    )
+    args = parser.parse_args(argv)
+
+    result = sweep(args.model, args.crop, args.seed)
+    Path(args.out).write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    failures = []
+    for point in result["points"]:
+        vaa = point["engines"]["VAA"]["goodput_rps"]
+        diffy = point["engines"]["Diffy"]["goodput_rps"]
+        line = (
+            f"load {point['load_factor']:.1f}x: offered {point['offered_rps']:.2f} rps"
+            f" | VAA {vaa:.2f} | Diffy {diffy:.2f} rps goodput"
+        )
+        print(line, file=sys.stderr)
+        if diffy < vaa:
+            failures.append(line)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    if failures:
+        print(
+            "FAIL: Diffy goodput fell below VAA at equal offered load:",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"ok: wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -97,6 +98,19 @@ class CacheStats:
 
 
 _STATS = CacheStats()
+
+#: Guards every read-modify-write of ``_STATS``.  The store itself is
+#: already multi-process safe (atomic rename); the counters additionally
+#: need to survive multi-*threaded* workers, where ``x += 1`` on a shared
+#: dataclass is a lost-update race.
+_STATS_LOCK = threading.Lock()
+
+
+def _bump(field_name: str, amount: int = 1) -> None:
+    """Atomically increment one stats counter."""
+    with _STATS_LOCK:
+        setattr(_STATS, field_name, getattr(_STATS, field_name) + amount)
+
 
 #: In-process memo caches (``functools.lru_cache`` wrappers and friends)
 #: registered by the modules that layer them over this store, so tests
@@ -153,10 +167,10 @@ def _quarantine(namespace: str, entry: Path) -> None:
     try:
         target.parent.mkdir(parents=True, exist_ok=True)
         os.replace(entry, target)
-        _STATS.quarantined += 1
+        _bump("quarantined")
         timing.count(f"cache.{namespace}.quarantined")
     except OSError:
-        _STATS.errors += 1
+        _bump("errors")
         return
     _prune_quarantine()
 
@@ -199,7 +213,7 @@ def _prune_quarantine() -> None:
             path.unlink()
         except OSError:
             continue
-        _STATS.quarantine_evicted += 1
+        _bump("quarantine_evicted")
         timing.count("cache.quarantine.evicted")
 
 
@@ -213,7 +227,7 @@ def fetch_or_compute(
     read nor written.
     """
     if not cache_enabled():
-        _STATS.bypasses += 1
+        _bump("bypasses")
         timing.count(f"cache.{namespace}.bypass")
         with timing.timed(f"cache.{namespace}.compute"):
             return compute()
@@ -224,17 +238,17 @@ def fetch_or_compute(
             with timing.timed(f"cache.{namespace}.load"):
                 with open(path, "rb") as fh:
                     value = pickle.load(fh)
-            _STATS.hits += 1
+            _bump("hits")
             timing.count(f"cache.{namespace}.hit")
             return value
         except Exception:
             # Torn/corrupt/incompatible entry: quarantine it for
             # post-mortem, then fall through and recompute.
-            _STATS.errors += 1
+            _bump("errors")
             timing.count(f"cache.{namespace}.error")
             _quarantine(namespace, path)
 
-    _STATS.misses += 1
+    _bump("misses")
     timing.count(f"cache.{namespace}.miss")
     with timing.timed(f"cache.{namespace}.compute"):
         value = compute()
@@ -257,21 +271,23 @@ def _store(path: Path, value: Any) -> None:
             except OSError:
                 pass
             raise
-        _STATS.stores += 1
+        _bump("stores")
     except OSError:
         # A read-only or full filesystem must never break the computation.
-        _STATS.errors += 1
+        _bump("errors")
 
 
 def cache_stats() -> CacheStats:
-    """Snapshot of the store counters."""
-    return CacheStats(**vars(_STATS))
+    """Consistent snapshot of the store counters."""
+    with _STATS_LOCK:
+        return CacheStats(**vars(_STATS))
 
 
 def reset_stats() -> None:
     """Zero the store counters (tests, repeated measurements)."""
-    for field_name in vars(_STATS):
-        setattr(_STATS, field_name, 0)
+    with _STATS_LOCK:
+        for field_name in vars(_STATS):
+            setattr(_STATS, field_name, 0)
 
 
 def purge() -> int:

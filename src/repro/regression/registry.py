@@ -39,6 +39,7 @@ _EXPERIMENT_MODULES: "tuple[tuple[str, str], ...]" = (
     ("ext_temporal", "ext_temporal"),
     ("ext_faults", "ext_faults"),
     ("ext_protection", "ext_protection"),
+    ("ext_serving", "ext_serving"),
 )
 
 

@@ -1,0 +1,43 @@
+"""Deterministic streaming-inference serving simulation (extension).
+
+The paper stops at per-frame fps; this package restates those numbers at
+the *service* level: requests, queues, batches, deadlines, and the
+latency/goodput trade-offs a production deployment of a Diffy-class
+accelerator would actually face.  See ``repro.experiments.ext_serving``
+for the headline VAA-vs-PRA-vs-Diffy comparison under identical load.
+"""
+
+from repro.serve.clock import VirtualClock
+from repro.serve.latency import (
+    DEFAULT_ENGINES,
+    ServiceTimes,
+    measure_service_times,
+)
+from repro.serve.scheduler import BatchPolicy, BoundedQueue
+from repro.serve.service import (
+    InferenceService,
+    ServeConfig,
+    ServingReport,
+    serve_workload,
+)
+from repro.serve.state import TemporalStateStore
+from repro.serve.telemetry import ServeTelemetry
+from repro.serve.workload import Request, WorkloadSpec, generate_requests
+
+__all__ = [
+    "VirtualClock",
+    "DEFAULT_ENGINES",
+    "ServiceTimes",
+    "measure_service_times",
+    "BatchPolicy",
+    "BoundedQueue",
+    "InferenceService",
+    "ServeConfig",
+    "ServingReport",
+    "serve_workload",
+    "TemporalStateStore",
+    "ServeTelemetry",
+    "Request",
+    "WorkloadSpec",
+    "generate_requests",
+]

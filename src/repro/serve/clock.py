@@ -1,0 +1,91 @@
+"""Virtual clock and discrete-event loop for the serving simulation.
+
+Everything in :mod:`repro.serve` advances a *virtual* clock instead of
+reading wall time: the simulation is a pure function of its inputs, so
+two runs with the same seed produce byte-identical telemetry — the same
+contract every golden-checked experiment in this repository obeys.
+
+Events are ordered by ``(time, sequence)``: the sequence number is a
+monotonic tie-breaker, so events scheduled for the same instant fire in
+scheduling order and the loop never depends on heap internals or hash
+ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class VirtualClock:
+    """Deterministic discrete-event scheduler.
+
+    ``schedule(delay, fn, *args)`` queues ``fn(*args)`` at ``now + delay``;
+    ``schedule_at`` takes an absolute virtual time.  ``run`` drains the
+    queue in ``(time, sequence)`` order, advancing :attr:`now` to each
+    event's timestamp before invoking it.  Callbacks may schedule further
+    events; scheduling into the past raises rather than silently
+    reordering history.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.fired = 0
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time:.9f} before now={self.now:.9f}"
+            )
+        event = Event(float(time), next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Fire events in order until the queue drains (or ``until``).
+
+        Returns the final virtual time.  With ``until`` given, events at
+        exactly ``until`` still fire; later ones stay queued.
+        """
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return self.now
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.fired += 1
+            event.fn(*event.args)
+        return self.now
+
+    def pending(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,229 @@
+"""The inference service: virtual-clock simulation of serving under load.
+
+:class:`InferenceService` wires the pieces together — an arrival stream
+(:mod:`repro.serve.workload`), a bounded queue with dynamic batching
+(:mod:`repro.serve.scheduler`), a worker pool whose batch times come
+from the cycle-accurate latency model (:mod:`repro.serve.latency`),
+per-session temporal state (:mod:`repro.serve.state`), and telemetry
+(:mod:`repro.serve.telemetry`) — and runs them on one
+:class:`repro.serve.clock.VirtualClock`.
+
+The event loop:
+
+- **arrival** — admit to the queue or shed (queue full = backpressure);
+  then try to dispatch.
+- **dispatch** — whenever a worker is idle and the batch policy says go
+  (full batch, or the oldest request has waited out ``max_wait_s``):
+  shed already-expired requests (deadline policy), pull up to
+  ``max_batch``, price each request cold/warm via the state store, and
+  occupy the worker for ``batch_overhead + sum(request times)``.
+- **completion** — free the worker, record per-request latency and
+  deadline outcome, dispatch again.
+
+Everything is deterministic: arrivals are pre-generated from a seed and
+the loop itself draws no randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.serve.clock import VirtualClock
+from repro.serve.latency import ServiceTimes
+from repro.serve.scheduler import (
+    BatchPolicy,
+    BoundedQueue,
+    QueuedRequest,
+    batch_ready,
+    next_deadline_check,
+)
+from repro.serve.state import StateStats, TemporalStateStore
+from repro.serve.telemetry import ServeTelemetry
+from repro.serve.workload import Request
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service-side knobs (the things an operator tunes)."""
+
+    workers: int = 2
+    max_batch: int = 4
+    max_wait_s: float = 0.0
+    queue_capacity: int = 16
+    #: Latency budget per request; arrival + deadline_s is the drop-dead
+    #: time for both queue shedding and goodput accounting.
+    deadline_s: float = 1.0
+    #: Total bytes of per-session temporal state the service may keep
+    #: resident (0 disables temporal serving entirely).
+    state_capacity_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("workers", self.workers)
+        check_positive("queue_capacity", self.queue_capacity)
+        check_positive("deadline_s", self.deadline_s)
+        if self.state_capacity_bytes < 0:
+            raise ValueError(
+                f"state_capacity_bytes must be >= 0, got {self.state_capacity_bytes}"
+            )
+        # BatchPolicy validates max_batch / max_wait_s.
+        BatchPolicy(self.max_batch, self.max_wait_s)
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Outcome of serving one workload on one engine (golden-friendly)."""
+
+    engine: str
+    duration_s: float
+    offered_rps: float
+    cold_service_s: float
+    warm_service_s: float
+    batch_overhead_s: float
+    metrics: dict
+    warm_served: int
+    cold_served: int
+    state_evictions: int
+    state_insertions: int
+
+    __golden_properties__ = ("goodput_rps", "p99_ms", "shed_rate", "warm_fraction")
+
+    @property
+    def goodput_rps(self) -> float:
+        return float(self.metrics["goodput_rps"])
+
+    @property
+    def p99_ms(self) -> float:
+        return float(self.metrics["latency_ms"]["p99"])
+
+    @property
+    def shed_rate(self) -> float:
+        return float(self.metrics["shed_rate"])
+
+    @property
+    def warm_fraction(self) -> float:
+        served = self.warm_served + self.cold_served
+        return self.warm_served / served if served else 0.0
+
+
+class InferenceService:
+    """One engine's simulated service instance."""
+
+    def __init__(self, times: ServiceTimes, config: ServeConfig):
+        self.times = times
+        self.config = config
+        self.policy = BatchPolicy(config.max_batch, config.max_wait_s)
+        self.queue = BoundedQueue(config.queue_capacity)
+        self.state = TemporalStateStore(
+            config.state_capacity_bytes, times.state_bytes
+        )
+        self.telemetry = ServeTelemetry(
+            max_batch=config.max_batch, queue_capacity=config.queue_capacity
+        )
+        self.clock = VirtualClock()
+        self.idle_workers = config.workers
+        self._wait_timer = None
+
+    # ---- event handlers --------------------------------------------------
+
+    def _on_arrival(self, request: Request) -> None:
+        now = self.clock.now
+        item = QueuedRequest(
+            request=request,
+            admitted_s=now,
+            deadline_s=now + self.config.deadline_s,
+        )
+        admitted = self.queue.offer(item)
+        self.telemetry.on_arrival(admitted, len(self.queue))
+        if admitted:
+            self._try_dispatch()
+
+    def _on_completion(self, batch: "list[QueuedRequest]") -> None:
+        now = self.clock.now
+        self.idle_workers += 1
+        for item in batch:
+            latency = now - item.request.arrival_s
+            self.telemetry.on_completion(latency, now <= item.deadline_s)
+        self._try_dispatch()
+
+    def _on_wait_expiry(self) -> None:
+        self._wait_timer = None
+        self._try_dispatch()
+
+    # ---- scheduling ------------------------------------------------------
+
+    def _try_dispatch(self) -> None:
+        now = self.clock.now
+        while self.idle_workers > 0:
+            expired = self.queue.pop_expired(now)
+            if expired:
+                self.telemetry.on_deadline_shed(len(expired))
+            if not batch_ready(self.queue, self.policy, now):
+                break
+            batch = self.queue.take(self.policy.max_batch)
+            service_s = self.times.batch_overhead_s
+            for item in batch:
+                mode = self.state.serve(
+                    item.request.session_id, item.request.frame_index
+                )
+                service_s += self.times.request_s(mode)
+            self.idle_workers -= 1
+            self.telemetry.on_batch(len(batch), service_s)
+            self.clock.schedule(service_s, self._on_completion, batch)
+        self._arm_wait_timer()
+
+    def _arm_wait_timer(self) -> None:
+        """Keep exactly one timer at the oldest request's wait expiry."""
+        if self._wait_timer is not None:
+            self._wait_timer.cancel()
+            self._wait_timer = None
+        expiry = next_deadline_check(self.queue, self.policy)
+        if expiry is not None and self.idle_workers > 0:
+            self._wait_timer = self.clock.schedule_at(
+                max(expiry, self.clock.now), self._on_wait_expiry
+            )
+
+    # ---- driver ----------------------------------------------------------
+
+    def run(self, requests: Sequence[Request], duration_s: float) -> ServingReport:
+        """Serve a pre-generated arrival stream to quiescence.
+
+        ``duration_s`` is the workload's generation window — the
+        normalizer for offered load, goodput and utilization.  The loop
+        itself runs until every admitted request has completed or been
+        shed, so tail requests are fully accounted.
+        """
+        check_positive("duration_s", duration_s)
+        for request in requests:
+            self.clock.schedule_at(request.arrival_s, self._on_arrival, request)
+        self.clock.run()
+        # Drain stragglers: requests still queued when arrivals stop can
+        # only be waiting on the wait timer; the final timer fires within
+        # max_wait_s, so by quiescence the queue is empty.
+        stats: StateStats = self.state.stats
+        return ServingReport(
+            engine=self.times.engine,
+            duration_s=float(duration_s),
+            offered_rps=len(requests) / duration_s,
+            cold_service_s=self.times.cold_s,
+            warm_service_s=self.times.warm_s,
+            batch_overhead_s=self.times.batch_overhead_s,
+            metrics=self.telemetry.snapshot(duration_s, self.config.workers),
+            warm_served=stats.warm,
+            cold_served=stats.cold,
+            state_evictions=stats.evictions,
+            state_insertions=stats.insertions,
+        )
+
+
+def serve_workload(
+    requests: Sequence[Request],
+    times: ServiceTimes,
+    config: ServeConfig,
+    duration_s: Optional[float] = None,
+) -> ServingReport:
+    """Convenience wrapper: one service instance, one workload, one report."""
+    if duration_s is None:
+        duration_s = max((r.arrival_s for r in requests), default=0.0) or 1.0
+    return InferenceService(times, config).run(requests, duration_s)

@@ -1,0 +1,109 @@
+"""Per-session temporal-delta state under a memory cap.
+
+A warm session serves its next frame in *temporal* mode: the previous
+frame's activations are resident, so a differential engine streams
+temporal deltas (:func:`repro.core.temporal.temporal_deltas`) instead of
+re-deriving everything spatially.  That residency is CBInfer's storage
+cost — one full set of feature maps per session — so a real service must
+bound it: this store keeps at most ``capacity_bytes`` of frame buffers
+and evicts least-recently-served sessions when a new one needs room.
+
+The store only answers *mode* questions; the actual activation arrays
+live in the trace-driven latency model.  What matters for scheduling is
+exactly what this tracks: which sessions are warm, and what residency
+costs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class StateStats:
+    """Lifetime counters of one store."""
+
+    warm: int = 0  # frames served in temporal mode
+    cold: int = 0  # frames served in spatial/raw mode
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def warm_fraction(self) -> float:
+        total = self.warm + self.cold
+        return self.warm / total if total else 0.0
+
+
+class TemporalStateStore:
+    """LRU store of per-session previous-frame state.
+
+    ``bytes_per_session`` is the frame-buffer footprint of one session
+    (:meth:`repro.core.temporal.FrameSequenceTrace.frame_buffer_bytes`,
+    scaled to the served resolution).  ``capacity_bytes=0`` disables
+    temporal state entirely — every frame is served cold, which is the
+    CBInfer-less baseline the scheduling experiments compare against.
+    """
+
+    def __init__(self, capacity_bytes: int, bytes_per_session: int):
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        if bytes_per_session <= 0:
+            raise ValueError(
+                f"bytes_per_session must be > 0, got {bytes_per_session}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self.bytes_per_session = int(bytes_per_session)
+        #: session_id -> last frame index whose state is resident (LRU order).
+        self._resident: "OrderedDict[int, int]" = OrderedDict()
+        self.stats = StateStats()
+
+    @property
+    def resident_sessions(self) -> int:
+        return len(self._resident)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._resident) * self.bytes_per_session
+
+    @property
+    def max_sessions(self) -> int:
+        return self.capacity_bytes // self.bytes_per_session
+
+    def is_warm(self, session_id: int, frame_index: int) -> bool:
+        """Would serving this frame run in temporal mode right now?"""
+        last = self._resident.get(session_id)
+        return last is not None and last == frame_index - 1
+
+    def serve(self, session_id: int, frame_index: int) -> str:
+        """Record one frame being served; returns ``"temporal"`` or ``"spatial"``.
+
+        Temporal mode requires the *immediately preceding* frame's state:
+        a gap (shed frame, evicted session) falls back to spatial and the
+        served frame re-anchors the session — the next contiguous frame
+        is warm again.
+        """
+        warm = self.is_warm(session_id, frame_index)
+        if warm:
+            self.stats.warm += 1
+        else:
+            self.stats.cold += 1
+        self._touch(session_id, frame_index)
+        return "temporal" if warm else "spatial"
+
+    def _touch(self, session_id: int, frame_index: int) -> None:
+        if session_id in self._resident:
+            self._resident[session_id] = frame_index
+            self._resident.move_to_end(session_id)
+            return
+        if self.bytes_per_session > self.capacity_bytes:
+            return  # a single session cannot fit; stay cold forever
+        while self.resident_bytes + self.bytes_per_session > self.capacity_bytes:
+            self._resident.popitem(last=False)
+            self.stats.evictions += 1
+        self._resident[session_id] = frame_index
+        self.stats.insertions += 1
+
+    def drop(self, session_id: int) -> bool:
+        """Explicitly release one session's state (session end)."""
+        return self._resident.pop(session_id, None) is not None

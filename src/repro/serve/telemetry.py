@@ -1,0 +1,151 @@
+"""Latency/throughput telemetry for the serving simulation.
+
+Built on :class:`repro.utils.timing.StreamingHistogram` rather than raw
+sample lists: histograms are fixed-size no matter how long the run, they
+merge exactly across workers (the same property the sweep runner's
+per-process accumulators need), and their percentile estimates are
+deterministic — which is what lets serving goldens be byte-identical.
+
+One :class:`ServeTelemetry` instance records one engine's run; its
+:meth:`snapshot` is the golden-serializable digest the experiment and
+benchmark layers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.timing import StreamingHistogram
+
+#: Latency bins: log-spaced from 100 µs to 1000 s.  Log spacing keeps
+#: relative resolution constant (~5.6% per bin with 288 bins), so p99
+#: estimates stay tight from millisecond to minute regimes.
+LATENCY_LO_S = 1e-4
+LATENCY_HI_S = 1e3
+LATENCY_BINS = 288
+
+
+def latency_histogram() -> StreamingHistogram:
+    return StreamingHistogram(LATENCY_LO_S, LATENCY_HI_S, LATENCY_BINS, log=True)
+
+
+def linear_histogram(hi: int) -> StreamingHistogram:
+    """Unit-wide integer bins covering 0..hi (batch sizes, queue depths)."""
+    return StreamingHistogram(-0.5, hi + 0.5, hi + 1, log=False)
+
+
+@dataclass
+class ServeTelemetry:
+    """All counters and distributions of one simulated serving run."""
+
+    max_batch: int
+    queue_capacity: int
+    latency: StreamingHistogram = field(default_factory=latency_histogram)
+    batch_sizes: StreamingHistogram = field(init=False)
+    queue_depths: StreamingHistogram = field(init=False)
+    arrived: int = 0
+    admitted: int = 0
+    shed_queue_full: int = 0
+    shed_deadline: int = 0
+    completed: int = 0
+    good: int = 0  # completed within deadline
+    late: int = 0  # completed but past deadline
+    batches: int = 0
+    busy_s: float = 0.0
+    max_queue_depth: int = 0
+
+    def __post_init__(self) -> None:
+        self.batch_sizes = linear_histogram(self.max_batch)
+        self.queue_depths = linear_histogram(self.queue_capacity)
+
+    # ---- recording hooks -------------------------------------------------
+
+    def on_arrival(self, admitted: bool, queue_depth: int) -> None:
+        self.arrived += 1
+        if admitted:
+            self.admitted += 1
+        else:
+            self.shed_queue_full += 1
+        self.queue_depths.record(queue_depth)
+        self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+
+    def on_deadline_shed(self, count: int) -> None:
+        self.shed_deadline += count
+
+    def on_batch(self, size: int, service_s: float) -> None:
+        self.batches += 1
+        self.batch_sizes.record(size)
+        self.busy_s += service_s
+
+    def on_completion(self, latency_s: float, within_deadline: bool) -> None:
+        self.completed += 1
+        self.latency.record(latency_s)
+        if within_deadline:
+            self.good += 1
+        else:
+            self.late += 1
+
+    # ---- derived metrics -------------------------------------------------
+
+    @property
+    def shed(self) -> int:
+        return self.shed_queue_full + self.shed_deadline
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.arrived if self.arrived else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batch_sizes.mean
+
+    def goodput_rps(self, duration_s: float) -> float:
+        return self.good / duration_s
+
+    def merge(self, other: "ServeTelemetry") -> "ServeTelemetry":
+        """Fold another run's telemetry in (sharded/partitioned serving)."""
+        self.latency.merge(other.latency)
+        self.batch_sizes.merge(other.batch_sizes)
+        self.queue_depths.merge(other.queue_depths)
+        for name in (
+            "arrived",
+            "admitted",
+            "shed_queue_full",
+            "shed_deadline",
+            "completed",
+            "good",
+            "late",
+            "batches",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.busy_s += other.busy_s
+        self.max_queue_depth = max(self.max_queue_depth, other.max_queue_depth)
+        return self
+
+    def snapshot(self, duration_s: float, workers: int = 1) -> dict:
+        """Golden-serializable digest of the run."""
+        lat = self.latency.summary()
+        return {
+            "arrived": self.arrived,
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_deadline": self.shed_deadline,
+            "shed_rate": self.shed_rate,
+            "completed": self.completed,
+            "good": self.good,
+            "late": self.late,
+            "goodput_rps": self.goodput_rps(duration_s),
+            "latency_ms": {
+                "mean": lat["mean"] * 1e3,
+                "p50": lat["p50"] * 1e3,
+                "p95": lat["p95"] * 1e3,
+                "p99": lat["p99"] * 1e3,
+                "max": lat["max"] * 1e3,
+            },
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "max_queue_depth": self.max_queue_depth,
+            "utilization": (
+                self.busy_s / (duration_s * workers) if duration_s else 0.0
+            ),
+        }

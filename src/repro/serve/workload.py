@@ -1,0 +1,119 @@
+"""Seeded open-loop request generation: video sessions under load.
+
+The unit of arrival is a *session* — one client streaming a short video
+clip (the regime of :mod:`repro.data.video`): a session that starts at
+``t0`` emits one inference request per frame at a fixed frame interval.
+Sessions arrive by a Poisson process or a bursty (on/off-modulated
+Poisson) process; both are generated ahead of the simulation from a
+:func:`repro.utils.rng.rng_for` stream, so the workload is a pure
+function of its parameters and the driving seed.
+
+Open loop means arrivals never react to service latency — exactly the
+regime where admission control and load shedding matter, because a slow
+server cannot slow its clients down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.utils.rng import DEFAULT_SEED, rng_for
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Request:
+    """One frame of one client session, offered to the service."""
+
+    session_id: int
+    frame_index: int
+    arrival_s: float
+
+    @property
+    def is_session_head(self) -> bool:
+        """First frame of its session (never has temporal state)."""
+        return self.frame_index == 0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one generated workload (golden-serializable)."""
+
+    duration_s: float
+    session_rate: float
+    frames_per_session: int
+    frame_interval_s: float
+    process: str = "poisson"
+    #: Bursty process: on-window and off-window lengths in seconds.  The
+    #: on-rate is raised so the *mean* session rate stays ``session_rate``.
+    burst_on_s: float = 1.0
+    burst_off_s: float = 1.0
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        check_positive("duration_s", self.duration_s)
+        check_positive("session_rate", self.session_rate)
+        check_positive("frames_per_session", self.frames_per_session)
+        check_positive("frame_interval_s", self.frame_interval_s)
+        if self.process not in ("poisson", "bursty"):
+            raise ValueError(
+                f"process must be 'poisson' or 'bursty', got {self.process!r}"
+            )
+        if self.process == "bursty":
+            check_positive("burst_on_s", self.burst_on_s)
+            check_positive("burst_off_s", self.burst_off_s)
+
+
+def _session_starts(spec: WorkloadSpec) -> Iterator[float]:
+    """Session start times in [0, duration), per the arrival process.
+
+    The bursty process generates arrivals in *active time* at an elevated
+    rate, then maps active time onto the on-windows of an on/off square
+    wave — off-windows pass no arrivals, and the elevated rate exactly
+    compensates so the long-run mean matches the Poisson case.
+    """
+    rng = rng_for(spec.seed, "serve-sessions", spec.process)
+    if spec.process == "poisson":
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / spec.session_rate))
+            if t >= spec.duration_s:
+                return
+            yield t
+    else:
+        on, off = spec.burst_on_s, spec.burst_off_s
+        rate_on = spec.session_rate * (on + off) / on
+        tau = 0.0  # active (on-window) time
+        while True:
+            tau += float(rng.exponential(1.0 / rate_on))
+            wall = (tau // on) * (on + off) + (tau % on)
+            if wall >= spec.duration_s:
+                return
+            yield wall
+
+
+def generate_requests(spec: WorkloadSpec) -> list[Request]:
+    """All frame requests of the workload, sorted by arrival time.
+
+    Sessions starting near the end of the window still emit their full
+    clip (their tail frames arrive past ``duration_s``); the tail is part
+    of the offered load and identical for every engine served with the
+    same spec, so cross-engine comparisons stay apples-to-apples.
+    """
+    requests = [
+        Request(
+            session_id=sid,
+            frame_index=f,
+            arrival_s=start + f * spec.frame_interval_s,
+        )
+        for sid, start in enumerate(_session_starts(spec))
+        for f in range(spec.frames_per_session)
+    ]
+    requests.sort(key=lambda r: (r.arrival_s, r.session_id, r.frame_index))
+    return requests
+
+
+def offered_rps(requests: list[Request], spec: WorkloadSpec) -> float:
+    """Offered request rate over the generation window."""
+    return len(requests) / spec.duration_s

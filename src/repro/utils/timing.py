@@ -10,6 +10,11 @@ dragging in a profiler:
   so a report distinguishes time spent synthesizing images *inside* trace
   collection from standalone synthesis.
 - :func:`count` — bump a named counter (cache hits/misses, bytes, ...).
+- :class:`StreamingHistogram` — a fixed-bin streaming distribution
+  accumulator with deterministic percentile estimates.  Histograms with
+  the same binning :meth:`~StreamingHistogram.merge`, so per-worker
+  accumulators (sweep processes, serve telemetry) reduce to one global
+  distribution without shipping raw samples.
 - :func:`report` — a formatted table of all timers and counters.
 
 Setting ``REPRO_PROFILE=1`` in the environment prints the report to
@@ -24,13 +29,15 @@ share them.
 from __future__ import annotations
 
 import atexit
+import bisect
+import math
 import os
 import sys
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 __all__ = [
     "timed",
@@ -40,6 +47,7 @@ __all__ = [
     "reset",
     "report",
     "profiling_enabled",
+    "StreamingHistogram",
 ]
 
 
@@ -145,6 +153,135 @@ def report(title: str = "repro timing report") -> str:
         for name in sorted(counters):
             lines.append(f"{name.ljust(width)}  {counters[name]}")
     return "\n".join(lines)
+
+
+class StreamingHistogram:
+    """Fixed-bin streaming histogram with deterministic percentiles.
+
+    Bins span ``[lo, hi]`` on a linear or logarithmic grid chosen at
+    construction; samples outside the range clamp into the end bins (the
+    exact ``min``/``max`` are tracked separately, and percentile results
+    are clamped to them, so the tails never report values no sample had).
+    State is plain Python (int counts), so instances pickle cheaply and
+    :meth:`merge` across processes is exact — two workers recording
+    disjoint sample streams merge to the same histogram as one worker
+    recording both.
+
+    Percentiles use the nearest-rank rule with linear interpolation
+    inside the selected bin: deterministic, order-independent, and within
+    one bin width of the exact sample percentile.
+    """
+
+    __slots__ = ("lo", "hi", "bins", "log", "_edges", "counts", "n", "total", "vmin", "vmax")
+
+    def __init__(self, lo: float, hi: float, bins: int, log: bool = False):
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        if not hi > lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+        if log and lo <= 0:
+            raise ValueError(f"log-spaced bins need lo > 0, got {lo}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = int(bins)
+        self.log = bool(log)
+        if log:
+            ratio = math.log(self.hi / self.lo)
+            self._edges = [
+                self.lo * math.exp(ratio * i / bins) for i in range(bins + 1)
+            ]
+        else:
+            step = (self.hi - self.lo) / bins
+            self._edges = [self.lo + step * i for i in range(bins + 1)]
+        self._edges[-1] = self.hi  # exactness at the top edge
+        self.counts = [0] * bins
+        self.n = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def record(self, value: float, weight: int = 1) -> None:
+        """Add ``weight`` samples of ``value`` (out-of-range values clamp)."""
+        if weight < 0:
+            raise ValueError(f"weight must be >= 0, got {weight}")
+        if weight == 0:
+            return
+        v = float(value)
+        idx = bisect.bisect_right(self._edges, v) - 1
+        idx = min(max(idx, 0), self.bins - 1)
+        self.counts[idx] += weight
+        self.n += weight
+        self.total += v * weight
+        self.vmin = min(self.vmin, v)
+        self.vmax = max(self.vmax, v)
+
+    def record_many(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else math.nan
+
+    def same_binning(self, other: "StreamingHistogram") -> bool:
+        return (
+            self.lo == other.lo
+            and self.hi == other.hi
+            and self.bins == other.bins
+            and self.log == other.log
+        )
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold another histogram's samples into this one (in place).
+
+        Requires identical binning — that is what makes the merge exact.
+        Returns ``self`` so reductions can chain.
+        """
+        if not self.same_binning(other):
+            raise ValueError(
+                f"cannot merge histograms with different bins: "
+                f"[{self.lo}, {self.hi}]x{self.bins}(log={self.log}) vs "
+                f"[{other.lo}, {other.hi}]x{other.bins}(log={other.log})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.n += other.n
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+        return self
+
+    def percentile(self, q: float) -> float:
+        """Estimated value at percentile ``q`` (0..100); NaN when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.n == 0:
+            return math.nan
+        target = max(1, math.ceil(q / 100.0 * self.n))
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cum + c >= target:
+                frac = (target - cum) / c
+                low, high = self._edges[i], self._edges[i + 1]
+                value = low + (high - low) * frac
+                return min(max(value, self.vmin), self.vmax)
+            cum += c
+        return self.vmax  # pragma: no cover - unreachable (counts sum to n)
+
+    def summary(self) -> dict:
+        """Deterministic scalar digest (JSON/golden friendly)."""
+        empty = self.n == 0
+        return {
+            "count": self.n,
+            "mean": self.mean,
+            "min": math.nan if empty else self.vmin,
+            "max": math.nan if empty else self.vmax,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
 
 
 def profiling_enabled() -> bool:

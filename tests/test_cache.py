@@ -217,3 +217,68 @@ class TestQuarantineCap:
         assert store.quarantine_cap() == 7
         monkeypatch.setenv("REPRO_QUARANTINE_CAP", "not-a-number")
         assert store.quarantine_cap() == store.QUARANTINE_CAP
+
+
+class TestStatsThreadSafety:
+    def test_bump_is_atomic_under_contention(self):
+        """Regression: bare ``_STATS.hits += 1`` lost updates when sweep
+        workers shared the store from threads; the locked read-modify-write
+        must count exactly."""
+        import threading
+
+        store.reset_stats()
+        threads_n, per_thread = 8, 2500
+        barrier = threading.Barrier(threads_n)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                store._bump("hits")
+                store._bump("errors", 2)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = store.cache_stats()
+        assert stats.hits == threads_n * per_thread
+        assert stats.errors == 2 * threads_n * per_thread
+        store.reset_stats()
+
+    def test_concurrent_fetches_count_consistently(self, fresh_cache):
+        """Threads hitting the same entry: every fetch is accounted as a
+        hit, miss, or store — no counts vanish."""
+        import threading
+
+        store.reset_stats()
+        ready = threading.Barrier(6)
+
+        def fetch():
+            ready.wait()
+            for i in range(50):
+                value = store.fetch_or_compute(
+                    "stats-race", ("shared", i % 5), lambda: 42
+                )
+                assert value == 42
+
+        threads = [threading.Thread(target=fetch) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = store.cache_stats()
+        # 300 fetches total; every one is either a hit or a miss.
+        assert stats.hits + stats.misses == 300
+        # Each of the 5 keys misses at least once before any hit...
+        assert stats.misses >= 5
+        # ...and hits dominate once entries exist.
+        assert stats.hits > 200
+
+    def test_snapshot_is_independent_copy(self):
+        store.reset_stats()
+        snap = store.cache_stats()
+        store._bump("hits")
+        assert snap.hits == 0
+        assert store.cache_stats().hits == 1
+        store.reset_stats()

@@ -81,3 +81,102 @@ class TestReport:
         assert timing.profiling_enabled()
         monkeypatch.setenv("REPRO_PROFILE", "0")
         assert not timing.profiling_enabled()
+
+
+class TestStreamingHistogram:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bins"):
+            timing.StreamingHistogram(0.0, 1.0, 0)
+        with pytest.raises(ValueError, match="hi > lo"):
+            timing.StreamingHistogram(1.0, 1.0, 4)
+        with pytest.raises(ValueError, match="log"):
+            timing.StreamingHistogram(0.0, 1.0, 4, log=True)
+        with pytest.raises(ValueError, match="percentile"):
+            timing.StreamingHistogram(0.0, 1.0, 4).percentile(101)
+        with pytest.raises(ValueError, match="weight"):
+            timing.StreamingHistogram(0.0, 1.0, 4).record(0.5, weight=-1)
+
+    def test_counts_mean_minmax(self):
+        hist = timing.StreamingHistogram(0.0, 10.0, 10)
+        hist.record_many([1.5, 2.5, 2.6, 9.1])
+        assert hist.n == 4
+        assert hist.counts[1] == 1 and hist.counts[2] == 2 and hist.counts[9] == 1
+        assert hist.mean == pytest.approx((1.5 + 2.5 + 2.6 + 9.1) / 4)
+        assert hist.vmin == 1.5 and hist.vmax == 9.1
+
+    def test_out_of_range_clamps_into_end_bins(self):
+        hist = timing.StreamingHistogram(0.0, 1.0, 4)
+        hist.record(-5.0)
+        hist.record(42.0)
+        assert hist.counts[0] == 1 and hist.counts[-1] == 1
+        # ...but min/max stay exact.
+        assert hist.vmin == -5.0 and hist.vmax == 42.0
+
+    def test_percentiles_within_one_bin_of_exact(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        samples = rng.uniform(0.0, 100.0, size=2000)
+        hist = timing.StreamingHistogram(0.0, 100.0, 200)
+        hist.record_many(samples)
+        bin_width = 0.5
+        for q in (50, 95, 99):
+            exact = float(np.percentile(samples, q))
+            assert abs(hist.percentile(q) - exact) <= 2 * bin_width
+
+    def test_percentile_clamped_to_observed_extremes(self):
+        hist = timing.StreamingHistogram(0.0, 100.0, 10)
+        hist.record(33.0)
+        # A single sample: every percentile is that sample, not a bin edge.
+        assert hist.percentile(0) == 33.0
+        assert hist.percentile(50) == 33.0
+        assert hist.percentile(100) == 33.0
+
+    def test_empty_summary_is_nan(self):
+        summary = timing.StreamingHistogram(0.0, 1.0, 4).summary()
+        assert summary["count"] == 0
+        for key in ("mean", "min", "max", "p50", "p95", "p99"):
+            assert summary[key] != summary[key]  # NaN
+
+    def test_merge_equals_single_stream(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        samples = rng.exponential(5.0, size=1000)
+        whole = timing.StreamingHistogram(1e-3, 1e3, 64, log=True)
+        whole.record_many(samples)
+        part_a = timing.StreamingHistogram(1e-3, 1e3, 64, log=True)
+        part_b = timing.StreamingHistogram(1e-3, 1e3, 64, log=True)
+        part_a.record_many(samples[:400])
+        part_b.record_many(samples[400:])
+        merged = part_a.merge(part_b)
+        assert merged is part_a
+        assert merged.counts == whole.counts
+        assert merged.n == whole.n
+        # Percentiles depend only on counts/extremes: exactly equal.
+        for q in (50, 95, 99):
+            assert merged.percentile(q) == whole.percentile(q)
+        # The mean's float sum is association-sensitive: equal to 1 ulp.
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+
+    def test_merge_rejects_different_binning(self):
+        a = timing.StreamingHistogram(0.0, 1.0, 4)
+        b = timing.StreamingHistogram(0.0, 1.0, 8)
+        with pytest.raises(ValueError, match="different bins"):
+            a.merge(b)
+
+    def test_log_bins_resolve_small_values(self):
+        hist = timing.StreamingHistogram(1e-4, 1e2, 120, log=True)
+        hist.record_many([1e-3] * 99 + [10.0])
+        assert hist.percentile(50) == pytest.approx(1e-3, rel=0.15)
+        assert hist.percentile(99) == pytest.approx(1e-3, rel=0.15)
+        assert hist.percentile(100) == 10.0
+
+    def test_weighted_record(self):
+        hist = timing.StreamingHistogram(0.0, 10.0, 10)
+        hist.record(2.0, weight=3)
+        hist.record(8.0)
+        assert hist.n == 4
+        assert hist.mean == pytest.approx((2.0 * 3 + 8.0) / 4)
+        hist.record(5.0, weight=0)  # no-op
+        assert hist.n == 4
