@@ -1,0 +1,184 @@
+"""Cold encode/decode throughput benchmark: reference vs vectorized codec.
+
+Times a cold ``GroupCodec`` encode+decode pass (plain and per-group
+CRC-8) plus the ``RLEZeroCodec`` zero-skip path on a seeded Laplacian
+delta map under both ``REPRO_CODEC_BACKEND`` values, recording MB/s and
+the vectorized/reference speedup into ``BENCH_codec.json``.  Exits
+non-zero if any encode+decode speedup falls below ``--min-speedup``
+(or if the backends ever disagree on bytes or decoded values — the
+benchmark double-checks byte-identity on every stream it times).
+
+The default size is an HD delta trace (1080x1920 values); ``--smoke``
+drops to 2^16 values for CI, where the gate is 5x rather than 10x
+because the reference path's fixed costs amortize less.
+
+Usage::
+
+    python benchmarks/codec_bench.py [--smoke] [--min-speedup 5] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.compression.codec import (  # noqa: E402
+    CODEC_BACKENDS,
+    GroupCodec,
+    RLEZeroCodec,
+)
+from repro.utils.rng import DEFAULT_SEED  # noqa: E402
+
+HD_VALUES = 1080 * 1920
+SMOKE_VALUES = 1 << 16
+BYTES_PER_VALUE = 2  # 16-bit storage words
+
+CASES = (
+    ("group_plain", lambda: GroupCodec(16, signed=True, checksum=False)),
+    ("group_checksum", lambda: GroupCodec(16, signed=True, checksum=True)),
+    ("rle_zero", lambda: RLEZeroCodec()),
+)
+
+
+def make_deltas(values: int, seed: int) -> np.ndarray:
+    """Laplacian-ish deltas with a realistic zero fraction (post-ReLU maps)."""
+    rng = np.random.default_rng(seed)
+    deltas = rng.laplace(scale=40.0, size=values)
+    deltas[rng.random(values) < 0.45] = 0
+    return np.clip(np.round(deltas), -(1 << 15), (1 << 15) - 1).astype(np.int64)
+
+
+def time_backend(codec, data: np.ndarray, backend: str, repeats: int) -> dict:
+    """Best-of-N cold encode and decode wall times for one backend."""
+    os.environ["REPRO_CODEC_BACKEND"] = backend
+    best_enc = best_dec = float("inf")
+    encoded = decoded = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        encoded = codec.encode(data)
+        t1 = time.perf_counter()
+        decoded = codec.decode(encoded)
+        t2 = time.perf_counter()
+        best_enc = min(best_enc, t1 - t0)
+        best_dec = min(best_dec, t2 - t1)
+    mb = data.size * BYTES_PER_VALUE / 1e6
+    return {
+        "encode_s": best_enc,
+        "decode_s": best_dec,
+        "encode_mb_s": mb / best_enc,
+        "decode_mb_s": mb / best_dec,
+        "cold_mb_s": mb / (best_enc + best_dec),
+        "_encoded": encoded,
+        "_decoded": decoded,
+    }
+
+
+def run(values: int, seed: int, repeats: dict) -> dict:
+    data = make_deltas(values, seed)
+    cases = {}
+    for name, make in CASES:
+        codec = make()
+        per_backend = {}
+        for backend in CODEC_BACKENDS:
+            per_backend[backend] = time_backend(codec, data, backend, repeats[backend])
+        ref, vec = per_backend["reference"], per_backend["vectorized"]
+        if ref["_encoded"].data != vec["_encoded"].data:
+            raise AssertionError(f"{name}: backends emitted different bytes")
+        if not np.array_equal(ref["_decoded"], vec["_decoded"]):
+            raise AssertionError(f"{name}: backends decoded different values")
+        for timing in per_backend.values():
+            timing.pop("_encoded")
+            timing.pop("_decoded")
+        cases[name] = {
+            "reference": ref,
+            "vectorized": vec,
+            "speedup_encode": ref["encode_s"] / vec["encode_s"],
+            "speedup_decode": ref["decode_s"] / vec["decode_s"],
+            "speedup_cold": (ref["encode_s"] + ref["decode_s"])
+            / (vec["encode_s"] + vec["decode_s"]),
+        }
+    return {
+        "values": values,
+        "bytes_per_value": BYTES_PER_VALUE,
+        "seed": seed,
+        "cases": cases,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"use the CI smoke size ({SMOKE_VALUES} values) instead of HD",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail if any cold speedup is below this (default: 10 HD, 5 smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_codec.json"),
+        help="where to write the result JSON",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the result JSON to stdout"
+    )
+    args = parser.parse_args(argv)
+
+    values = SMOKE_VALUES if args.smoke else HD_VALUES
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 5.0 if args.smoke else 10.0
+    # The reference path is minutes-slow at HD size; one cold pass is
+    # already stable there, while the fast paths get best-of-3.
+    repeats = {"reference": 1 if not args.smoke else 3, "vectorized": 3}
+
+    prior = os.environ.get("REPRO_CODEC_BACKEND")
+    try:
+        result = run(values, args.seed, repeats)
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_CODEC_BACKEND", None)
+        else:
+            os.environ["REPRO_CODEC_BACKEND"] = prior
+    result["min_speedup"] = min_speedup
+    result["smoke"] = args.smoke
+    Path(args.out).write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    failures = []
+    for name, case in result["cases"].items():
+        line = (
+            f"{name}: cold {case['speedup_cold']:.1f}x"
+            f" (encode {case['speedup_encode']:.1f}x,"
+            f" decode {case['speedup_decode']:.1f}x;"
+            f" vectorized {case['vectorized']['cold_mb_s']:.1f} MB/s"
+            f" vs reference {case['reference']['cold_mb_s']:.1f} MB/s)"
+        )
+        print(line, file=sys.stderr)
+        if case["speedup_cold"] < min_speedup:
+            failures.append(line)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    if failures:
+        print(
+            f"FAIL: cold speedup below the {min_speedup:.0f}x gate:",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"ok: wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

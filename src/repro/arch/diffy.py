@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.arch.config import AcceleratorConfig, DIFFY_CONFIG
 from repro.arch.cycles import LayerCycles, serial_layer_cycles
-from repro.arch.term_maps import delta_term_map, raw_term_map
+from repro.arch.term_maps import delta_term_map, lower_layer
 from repro.nn.trace import ConvLayerTrace
 
 
@@ -53,12 +53,17 @@ class DiffyModel:
         processed on raw values; its aggregates are computed separately and
         spliced over the delta-based ones, because a head window's *taps*
         overlap positions that later windows consume as deltas.
+
+        Both term maps come from the layer's lowered view, so repeated
+        evaluations (sweeps, campaigns, serving) execute over one shared
+        set of lowered artifacts.
         """
+        lowered = lower_layer(layer, axis=self.axis)
         return serial_layer_cycles(
             layer,
-            self.term_map(layer),
+            lowered.delta_terms,
             self.config,
-            head_term_map=raw_term_map(layer),
+            head_term_map=lowered.raw_terms,
             axis=self.axis,
         )
 

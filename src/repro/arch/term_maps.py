@@ -1,4 +1,4 @@
-"""Memoized Booth term maps shared by the term-serial cycle models.
+"""Per-layer lowering: memoized Booth term maps and group geometry.
 
 PRA streams the *raw* imap's effectual terms; Diffy streams the *delta*
 imap's — but Diffy's raw-first-window-of-row dataflow also needs the raw
@@ -6,8 +6,20 @@ term map for the head windows, and :func:`repro.arch.sim.simulate_network`
 evaluates the same traces once per (accelerator, scheme) combination.
 Without memoization each evaluation re-pads the multi-megabyte imap and
 re-indexes the 65536-entry term LUT over it; with it, each distinct
-``(layer, kind, encoding)`` term map is computed exactly once per trace
+``(layer, kind, encoding)`` artifact is computed exactly once per trace
 lifetime.
+
+The module realizes the calibrater-style split the cycle models are built
+on: a one-time per-layer **lowering** stage (zero-padded imap, spatial
+deltas, Booth term LUT gathers, per-group precision geometry — everything
+that is a pure function of the trace) feeding a per-frame **execute**
+stage that is pure array arithmetic over the lowered artifacts.
+:class:`LoweredLayer` is the façade over that stage: a cheap view whose
+fields resolve through the shared memo, so every model evaluating the
+same layer — PRA's raw stream, Diffy's delta stream and raw head
+windows, the serve layer's temporal pricing — reuses one set of arrays.
+:func:`lowering_stats` reports how often the expensive computes actually
+ran versus being served from the memo.
 
 Memos are keyed by layer *identity* (``id``) and evicted by a weakref
 finalizer when the trace layer is garbage collected, so memoization never
@@ -19,21 +31,37 @@ share them.
 from __future__ import annotations
 
 import weakref
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cache import store as cache_store
 from repro.core.booth import DEFAULT_ENCODING, WORD_BITS, booth_terms
 from repro.core.deltas import spatial_deltas
+from repro.core.precision import GroupPrecisionEncoding, group_precisions
 from repro.nn.trace import ConvLayerTrace
 
-__all__ = ["padded_imap", "raw_term_map", "delta_term_map", "clear_term_maps"]
+__all__ = [
+    "LoweredLayer",
+    "lower_layer",
+    "lowering_stats",
+    "reset_lowering_stats",
+    "padded_imap",
+    "raw_term_map",
+    "delta_term_map",
+    "group_geometry",
+    "clear_term_maps",
+]
 
-#: id(layer) -> {memo key: array}; entries die with their layer.
-_MEMOS: dict[int, dict[tuple, np.ndarray]] = {}
+#: id(layer) -> {memo key: artifact}; entries die with their layer.
+_MEMOS: dict[int, dict[tuple, object]] = {}
+
+#: Lowering telemetry: computes are the expensive one-time stage, reuses
+#: are memo hits handed to a per-frame execute step.
+_LOWER_STATS = {"computed": 0, "reused": 0}
 
 
-def _memo_for(layer: ConvLayerTrace) -> dict[tuple, np.ndarray]:
+def _memo_for(layer: ConvLayerTrace) -> dict[tuple, object]:
     key = id(layer)
     memo = _MEMOS.get(key)
     if memo is None:
@@ -42,14 +70,29 @@ def _memo_for(layer: ConvLayerTrace) -> dict[tuple, np.ndarray]:
     return memo
 
 
-def _memoized(layer: ConvLayerTrace, key: tuple, compute) -> np.ndarray:
+def _memoized(layer: ConvLayerTrace, key: tuple, compute):
     memo = _memo_for(layer)
     value = memo.get(key)
     if value is None:
         value = compute()
-        value.setflags(write=False)
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)
         memo[key] = value
+        _LOWER_STATS["computed"] += 1
+    else:
+        _LOWER_STATS["reused"] += 1
     return value
+
+
+def lowering_stats() -> "dict[str, int]":
+    """Snapshot of lowering-stage computes vs memo reuses."""
+    return dict(_LOWER_STATS)
+
+
+def reset_lowering_stats() -> None:
+    """Zero the lowering counters (tests, repeated measurements)."""
+    _LOWER_STATS["computed"] = 0
+    _LOWER_STATS["reused"] = 0
 
 
 def padded_imap(layer: ConvLayerTrace) -> np.ndarray:
@@ -87,8 +130,70 @@ def delta_term_map(
     return _memoized(layer, ("delta", axis, encoding), compute)
 
 
+def group_geometry(
+    layer: ConvLayerTrace, group_size: int = 16, signed: bool = False
+) -> GroupPrecisionEncoding:
+    """Per-group precision geometry of the layer's imap (memoized).
+
+    The dynamic-precision group widths the RawD/DeltaD codecs price the
+    layer's storage with, computed once per ``(group_size, signed)`` and
+    shared by every footprint/traffic evaluation of the same trace.
+    """
+    return _memoized(
+        layer,
+        ("geometry", group_size, signed),
+        lambda: group_precisions(layer.imap, group_size, signed=signed),
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class LoweredLayer:
+    """Cheap view of one layer's lowered (memoized) artifacts.
+
+    Constructing the view costs nothing; each accessor resolves through
+    the per-layer memo, so the expensive computes run at most once per
+    trace lifetime no matter how many accelerator/scheme evaluations
+    execute over it.  The view deliberately does not cache arrays itself:
+    holding them here would extend their lifetime past the trace's.
+    """
+
+    layer: ConvLayerTrace
+    axis: str = "x"
+    encoding: str = DEFAULT_ENCODING
+
+    @property
+    def padded(self) -> np.ndarray:
+        """Zero-padded imap (shared, read-only)."""
+        return padded_imap(self.layer)
+
+    @property
+    def raw_terms(self) -> np.ndarray:
+        """Effectual-term counts of the raw stream (PRA; Diffy heads)."""
+        return raw_term_map(self.layer, self.encoding)
+
+    @property
+    def delta_terms(self) -> np.ndarray:
+        """Effectual-term counts of the spatial-delta stream (Diffy)."""
+        return delta_term_map(self.layer, self.axis, self.encoding)
+
+    def group_geometry(
+        self, group_size: int = 16, signed: bool = False
+    ) -> GroupPrecisionEncoding:
+        """Dynamic-precision group widths of the stored imap."""
+        return group_geometry(self.layer, group_size, signed=signed)
+
+
+def lower_layer(
+    layer: ConvLayerTrace, axis: str = "x", encoding: str = DEFAULT_ENCODING
+) -> LoweredLayer:
+    """The lowering entry point: a :class:`LoweredLayer` view of ``layer``."""
+    if axis not in ("x", "y"):
+        raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+    return LoweredLayer(layer=layer, axis=axis, encoding=encoding)
+
+
 def clear_term_maps() -> None:
-    """Drop every memoized term map (the arrays, not the traces)."""
+    """Drop every memoized lowering artifact (the arrays, not the traces)."""
     _MEMOS.clear()
 
 

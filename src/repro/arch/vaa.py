@@ -18,6 +18,7 @@ import math
 
 from repro.arch.config import AcceleratorConfig, VAA_CONFIG
 from repro.arch.cycles import LayerCycles, filter_passes, geometry_occupancies
+from repro.arch.term_maps import padded_imap
 from repro.core.booth import booth_terms
 from repro.nn.trace import ConvLayerTrace
 
@@ -43,9 +44,8 @@ class VAAModel:
         filter_occ, channel_occ = geometry_occupancies(layer, cfg)
         # "Useful work" for VAA's utilization view counts nonzero-activation
         # lanes; VAA spends the lane-cycle regardless.
-        padded = layer.padded_imap()
+        padded = padded_imap(layer)
         useful = float((padded != 0).sum()) * layer.kernel**2 / max(layer.stride**2, 1)
-        del padded
         return LayerCycles(
             name=layer.name,
             index=layer.index,

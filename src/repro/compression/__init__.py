@@ -25,9 +25,13 @@ from repro.compression.footprint import (
 from repro.compression.codec import (
     BitReader,
     BitWriter,
+    CODEC_BACKENDS,
     Encoded,
     GroupCodec,
     RLEZeroCodec,
+    active_codec_backend,
+    codec_stats,
+    reset_codec_stats,
 )
 from repro.compression.traffic import (
     LayerTraffic,
@@ -49,11 +53,15 @@ __all__ = [
     "network_footprint",
     "normalized_footprints",
     "am_requirement_bytes",
+    "CODEC_BACKENDS",
     "BitReader",
     "BitWriter",
     "Encoded",
     "GroupCodec",
     "RLEZeroCodec",
+    "active_codec_backend",
+    "codec_stats",
+    "reset_codec_stats",
     "LayerTraffic",
     "network_traffic",
     "normalized_traffic",

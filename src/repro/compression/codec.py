@@ -22,16 +22,36 @@ Formats implemented:
 Both operate on flat integer streams (use
 :func:`repro.compression.schemes.storage_order` /
 :func:`repro.compression.schemes.planar_order` to linearize maps).
+
+Two interchangeable backends implement each format:
+
+- ``"reference"`` — the original value-at-a-time ``BitWriter``/``BitReader``
+  loops below: legible, obviously correct, slow.
+- ``"vectorized"`` (default) — whole-array numpy bit-plane pack/unpack in
+  :mod:`repro.compression.bitplane`, property-tested byte-identical to
+  the reference path on every stream either emits (corrupted and
+  truncated streams included).
+
+Selection is per call via the ``REPRO_CODEC_BACKEND`` environment
+variable; an unknown value raises ``ValueError`` at first codec use
+rather than silently falling back.  :func:`codec_stats` reports the
+active backend and per-backend call counters, mirroring
+:func:`repro.cache.store.cache_stats`.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compression import bitplane
+from repro.compression.bitplane import CHECKSUM_BITS, _crc8_shift, crc8_table
 from repro.compression.schemes import RLE_COUNT_BITS, _RLE_SPAN
 from repro.core.precision import HEADER_BITS, MAX_PRECISION, group_precisions
+from repro.utils import timing
 from repro.utils.validation import (
     check_dtype,
     check_finite,
@@ -39,6 +59,85 @@ from repro.utils.validation import (
     check_positive,
     check_shape,
 )
+
+#: The selectable codec backends, in documentation order.
+CODEC_BACKENDS = ("reference", "vectorized")
+
+#: Backend used when ``REPRO_CODEC_BACKEND`` is unset or empty.
+DEFAULT_CODEC_BACKEND = "vectorized"
+
+_BACKEND_ENV = "REPRO_CODEC_BACKEND"
+
+
+def active_codec_backend() -> str:
+    """The backend the next codec call will use.
+
+    Read from ``REPRO_CODEC_BACKEND`` on every call (so tests and
+    experiments can flip it via the environment); an unknown value is a
+    hard ``ValueError``, never a silent fallback.
+    """
+    raw = os.environ.get(_BACKEND_ENV, "").strip().lower()
+    if not raw:
+        return DEFAULT_CODEC_BACKEND
+    if raw not in CODEC_BACKENDS:
+        raise ValueError(
+            f"unknown {_BACKEND_ENV} value {raw!r}; "
+            f"expected one of {CODEC_BACKENDS}"
+        )
+    return raw
+
+
+@dataclass
+class CodecStats:
+    """Process-lifetime codec counters plus the currently active backend."""
+
+    backend: str
+    encodes: int = 0
+    decodes: int = 0
+    encoded_bits: int = 0
+    decoded_values: int = 0
+    reference_calls: int = 0
+    vectorized_calls: int = 0
+
+
+_CODEC_STATS = CodecStats(backend=DEFAULT_CODEC_BACKEND)
+_CODEC_STATS_LOCK = threading.Lock()
+
+
+def _note_codec_call(kind: str, backend: str, bits: int, values: int) -> None:
+    """Record one encode/decode under the backend that served it."""
+    timing.count(f"codec.{backend}.{kind}")
+    with _CODEC_STATS_LOCK:
+        if kind == "encode":
+            _CODEC_STATS.encodes += 1
+            _CODEC_STATS.encoded_bits += bits
+        else:
+            _CODEC_STATS.decodes += 1
+            _CODEC_STATS.decoded_values += values
+        if backend == "reference":
+            _CODEC_STATS.reference_calls += 1
+        else:
+            _CODEC_STATS.vectorized_calls += 1
+
+
+def codec_stats() -> CodecStats:
+    """Consistent snapshot of the codec counters (cache_stats-style).
+
+    ``backend`` is resolved at snapshot time, so an invalid
+    ``REPRO_CODEC_BACKEND`` raises here exactly as it would at first use.
+    """
+    backend = active_codec_backend()
+    with _CODEC_STATS_LOCK:
+        snapshot = CodecStats(**vars(_CODEC_STATS))
+    snapshot.backend = backend
+    return snapshot
+
+
+def reset_codec_stats() -> None:
+    """Zero the codec counters (tests, repeated measurements)."""
+    with _CODEC_STATS_LOCK:
+        for field_name, value in vars(CodecStats(backend=DEFAULT_CODEC_BACKEND)).items():
+            setattr(_CODEC_STATS, field_name, value)
 
 
 class BitWriter:
@@ -110,19 +209,37 @@ class BitReader:
         ]
 
 
-#: Per-group checksum width when :class:`GroupCodec` runs with
-#: ``checksum=True`` (CRC-8, polynomial x^8+x^2+x+1).
-CHECKSUM_BITS = 8
-
-_CRC8_POLY = 0x07
+_CRC8_POLY = bitplane.CRC8_POLY
 
 
-def crc8_bits(bits: "list[int]") -> int:
-    """CRC-8 (poly 0x07, init 0) over a 0/1 bit sequence, MSB first."""
+def _crc8_bits_bitwise(bits: "list[int]") -> int:
+    """Bit-at-a-time CRC-8: the defining implementation the table-driven
+    :func:`crc8_bits` is verified bit-exact against."""
     crc = 0
     for b in bits:
         crc ^= (b & 1) << 7
         crc = ((crc << 1) ^ _CRC8_POLY) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc
+
+
+def crc8_bits(bits: "list[int] | np.ndarray") -> int:
+    """CRC-8 (poly 0x07, init 0) over a 0/1 bit sequence, MSB first.
+
+    Table-driven: whole bytes go through the 256-entry LUT
+    (:func:`repro.compression.bitplane.crc8_table`), the sub-byte tail
+    through the shift register — bit-exact with the per-bit definition at
+    roughly 8x fewer Python-level steps.
+    """
+    arr = np.asarray(bits, dtype=np.uint8) & 1
+    table = crc8_table()
+    crc = 0
+    full = arr.size - arr.size % 8
+    if full:
+        for byte in np.packbits(arr[:full]).tolist():
+            crc = table[crc ^ byte]
+    for b in arr[full:].tolist():
+        crc ^= b << 7
+        crc = _crc8_shift(crc)
     return crc
 
 
@@ -207,6 +324,19 @@ class GroupCodec:
     def encode(self, values: np.ndarray) -> Encoded:
         """Pack a flat integer stream; tail groups are zero padded."""
         flat = _as_int_stream("values", values, signed=self.signed)
+        backend = active_codec_backend()
+        if backend == "vectorized":
+            data, bits = bitplane.group_encode(
+                flat, self.group_size, self.signed, self.checksum
+            )
+            encoded = Encoded(data=data, bits=bits, values=int(flat.size))
+        else:
+            encoded = self._encode_reference(flat)
+        _note_codec_call("encode", backend, encoded.bits, encoded.values)
+        return encoded
+
+    def _encode_reference(self, flat: np.ndarray) -> Encoded:
+        """The value-at-a-time ``BitWriter`` path (backend ``reference``)."""
         enc = group_precisions(flat, self.group_size, signed=self.signed)
         writer = BitWriter()
         padded = np.zeros(len(enc.precisions) * self.group_size, dtype=np.int64)
@@ -276,6 +406,30 @@ class GroupCodec:
         """
         if strict:
             _check_encoded(encoded)
+        backend = active_codec_backend()
+        if backend == "vectorized":
+            result = bitplane.group_decode_flagged(
+                encoded.data,
+                encoded.bits,
+                encoded.values,
+                self.group_size,
+                self.signed,
+                self.checksum,
+                strict,
+                tuple(suspect_bits),
+            )
+        else:
+            result = self._decode_flagged_reference(encoded, strict, suspect_bits)
+        _note_codec_call("decode", backend, encoded.bits, encoded.values)
+        return result
+
+    def _decode_flagged_reference(
+        self,
+        encoded: Encoded,
+        strict: bool,
+        suspect_bits: "tuple[tuple[int, int], ...]",
+    ) -> "tuple[np.ndarray, tuple[int, ...]]":
+        """The value-at-a-time ``BitReader`` path (backend ``reference``)."""
         reader = BitReader(encoded.data)
         out: list[int] = []
         flagged: list[int] = []
@@ -356,6 +510,17 @@ class RLEZeroCodec:
 
     def encode(self, values: np.ndarray) -> Encoded:
         flat = _as_int_stream("values", values, signed=True)
+        backend = active_codec_backend()
+        if backend == "vectorized":
+            data, bits = bitplane.rlez_encode(flat)
+            encoded = Encoded(data=data, bits=bits, values=int(flat.size))
+        else:
+            encoded = self._encode_reference(flat)
+        _note_codec_call("encode", backend, encoded.bits, encoded.values)
+        return encoded
+
+    def _encode_reference(self, flat: np.ndarray) -> Encoded:
+        """The token-at-a-time ``BitWriter`` path (backend ``reference``)."""
         writer = BitWriter()
         pending_zeros = 0
 
@@ -382,6 +547,18 @@ class RLEZeroCodec:
     def decode(self, encoded: Encoded, strict: bool = True) -> np.ndarray:
         if strict:
             _check_encoded(encoded)
+        backend = active_codec_backend()
+        if backend == "vectorized":
+            result = bitplane.rlez_decode(
+                encoded.data, encoded.bits, encoded.values, strict
+            )
+        else:
+            result = self._decode_reference(encoded, strict)
+        _note_codec_call("decode", backend, encoded.bits, encoded.values)
+        return result
+
+    def _decode_reference(self, encoded: Encoded, strict: bool) -> np.ndarray:
+        """The token-at-a-time ``BitReader`` path (backend ``reference``)."""
         reader = BitReader(encoded.data)
         out: list[int] = []
         try:

@@ -150,6 +150,20 @@ def term_count_lut(encoding: str = DEFAULT_ENCODING) -> np.ndarray:
     return lut
 
 
+@lru_cache(maxsize=None)
+def term_count_lut64(encoding: str = DEFAULT_ENCODING) -> np.ndarray:
+    """The term-count LUT pre-widened to ``int64`` (read-only).
+
+    The one-time "lowering" form of :func:`term_count_lut`: gathering
+    through an ``int64`` table yields the result dtype directly, so the
+    per-trace hot path is a single fancy index instead of a gather plus a
+    full-array cast pass.
+    """
+    lut = term_count_lut(encoding).astype(np.int64)
+    lut.setflags(write=False)
+    return lut
+
+
 def booth_terms(values: np.ndarray, encoding: str = DEFAULT_ENCODING) -> np.ndarray:
     """Effectual-term count per element of a signed 16-bit integer array.
 
@@ -163,7 +177,7 @@ def booth_terms(values: np.ndarray, encoding: str = DEFAULT_ENCODING) -> np.ndar
             f"values outside signed {WORD_BITS}-bit range: "
             f"min={arr.min()}, max={arr.max()}"
         )
-    return term_count_lut(encoding)[arr & _MASK].astype(np.int64)
+    return term_count_lut64(encoding)[arr & _MASK]
 
 
 def mean_terms(values: np.ndarray, encoding: str = DEFAULT_ENCODING) -> float:

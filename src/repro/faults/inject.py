@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.compression.bitplane import pack_payload, unpack_payload
 from repro.compression.codec import Encoded
 from repro.faults.models import (
     FaultModel,
@@ -86,12 +87,14 @@ def inject_encoded(
     :class:`~repro.compression.codec.BitWriter` adds to reach a whole byte
     never leaves the encoder, so it cannot fault.
     """
-    bits = np.unpackbits(np.frombuffer(encoded.data, dtype=np.uint8))
+    # Unpack the *physical* bits (payload + byte padding) so the repack
+    # preserves any padding content byte-for-byte on both codec backends.
+    bits = unpack_payload(encoded.data, len(encoded.data) * 8)
     payload = bits[: encoded.bits]
     faults = inject_bits(payload, rate, model, rng)
     bits[: encoded.bits] = payload
     return (
-        Encoded(data=np.packbits(bits).tobytes(), bits=encoded.bits, values=encoded.values),
+        Encoded(data=pack_payload(bits), bits=encoded.bits, values=encoded.values),
         faults,
     )
 

@@ -31,6 +31,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.compression.bitplane import pack_payload, unpack_payload
 from repro.compression.codec import CHECKSUM_BITS, Encoded, GroupCodec
 from repro.compression.schemes import planar_order
 from repro.core.differential import (
@@ -143,7 +144,7 @@ def store_protected(
     )
     stream_codes = None
     if policy.stream_ecc:
-        bits = np.unpackbits(np.frombuffer(stream.data, dtype=np.uint8))[: stream.bits]
+        bits = unpack_payload(stream.data, stream.bits)
         pad = (-stream.bits) % WORD_BITS
         padded = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
         stream_codes = secded_encode(bits_to_words(padded, WORD_BITS), WORD_BITS)
@@ -222,7 +223,7 @@ def read_protected(
         detected += rep.detected
         bits = words_to_bits(chunks, WORD_BITS)[: pmap.stream.bits]
         encoded = Encoded(
-            data=np.packbits(bits.astype(np.uint8)).tobytes(),
+            data=pack_payload(bits),
             bits=pmap.stream.bits,
             values=pmap.stream.values,
         )

@@ -1,0 +1,306 @@
+"""Backend-identity tests: the vectorized codec must be byte-identical
+to the reference path on every stream, flag, and failure it produces."""
+
+import contextlib
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import term_maps
+from repro.compression.bitplane import crc8_table
+from repro.compression.codec import (
+    CODEC_BACKENDS,
+    DEFAULT_CODEC_BACKEND,
+    GroupCodec,
+    RLEZeroCodec,
+    _crc8_bits_bitwise,
+    active_codec_backend,
+    codec_stats,
+    crc8_bits,
+    reset_codec_stats,
+)
+from repro.faults.inject import inject_encoded
+from repro.faults.models import BitFlip
+from repro.protect.policy import ProtectionPolicy
+from repro.protect.stream import read_protected, store_protected
+
+
+@contextlib.contextmanager
+def backend(name):
+    """Pin ``REPRO_CODEC_BACKEND`` for the block (hypothesis-safe: no
+    function-scoped fixture, restores the prior value on exit)."""
+    prior = os.environ.get("REPRO_CODEC_BACKEND")
+    os.environ["REPRO_CODEC_BACKEND"] = name
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_CODEC_BACKEND", None)
+        else:
+            os.environ["REPRO_CODEC_BACKEND"] = prior
+
+
+def both_backends(fn):
+    """Run ``fn()`` under each backend and return the two results."""
+    results = []
+    for name in CODEC_BACKENDS:
+        with backend(name):
+            results.append(fn())
+    return results
+
+
+def _outcome(fn):
+    """Result or (ValueError-type, message) — so strict failures compare."""
+    try:
+        return ("ok", fn())
+    except ValueError as exc:
+        return ("raise", str(exc))
+
+
+values_st = st.lists(st.integers(-32768, 32767), min_size=0, max_size=200)
+unsigned_st = st.lists(st.integers(0, 32767), min_size=0, max_size=200)
+sparse_st = st.lists(
+    st.one_of(st.just(0), st.integers(-32768, 32767)), min_size=0, max_size=200
+)
+
+
+class TestGroupCodecIdentity:
+    @given(
+        values=values_st,
+        group=st.integers(1, 33),
+        checksum=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_signed_streams_byte_identical(self, values, group, checksum):
+        codec = GroupCodec(group_size=group, signed=True, checksum=checksum)
+        arr = np.array(values, dtype=np.int64)
+        ref, vec = both_backends(lambda: codec.encode(arr))
+        assert ref.data == vec.data
+        assert (ref.bits, ref.values) == (vec.bits, vec.values)
+        dec_ref, dec_vec = both_backends(lambda: codec.decode_flagged(ref))
+        assert np.array_equal(dec_ref[0], dec_vec[0])
+        assert dec_ref[1] == dec_vec[1]
+
+    @given(values=unsigned_st, group=st.sampled_from([4, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_unsigned_streams_byte_identical(self, values, group):
+        codec = GroupCodec(group_size=group, signed=False)
+        arr = np.array(values, dtype=np.int64)
+        ref, vec = both_backends(lambda: codec.encode(arr))
+        assert ref.data == vec.data
+        dec_ref, dec_vec = both_backends(lambda: codec.decode(ref))
+        assert np.array_equal(dec_ref, dec_vec)
+
+    @given(
+        values=st.lists(st.integers(-32768, 32767), min_size=1, max_size=120),
+        checksum=st.booleans(),
+        strict=st.booleans(),
+        flips=st.lists(st.integers(0, 10_000), min_size=1, max_size=6),
+        cut=st.integers(0, 6),
+        suspect=st.lists(
+            st.tuples(st.integers(0, 2000), st.integers(1, 64)), max_size=3
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_corrupted_streams_agree(
+        self, values, checksum, strict, flips, cut, suspect, data
+    ):
+        """Bit flips, truncated tails, and suspect ranges must produce the
+        same decoded arrays, the same flags, and the same strict errors."""
+        codec = GroupCodec(group_size=16, signed=True, checksum=checksum)
+        encoded = codec.encode(np.array(values, dtype=np.int64))
+        raw = bytearray(encoded.data)
+        for bit in flips:
+            if raw:
+                raw[(bit // 8) % len(raw)] ^= 0x80 >> (bit % 8)
+        corrupt = type(encoded)(
+            data=bytes(raw[: max(0, len(raw) - cut)]),
+            bits=encoded.bits,
+            values=encoded.values,
+        )
+        suspect_bits = tuple((lo, lo + span) for lo, span in suspect)
+        outcomes = both_backends(
+            lambda: _outcome(
+                lambda: codec.decode_flagged(
+                    corrupt, strict=strict, suspect_bits=suspect_bits
+                )
+            )
+        )
+        (kind_ref, res_ref), (kind_vec, res_vec) = outcomes
+        assert kind_ref == kind_vec
+        if kind_ref == "ok":
+            assert np.array_equal(res_ref[0], res_vec[0])
+            assert res_ref[1] == res_vec[1]
+        else:
+            assert res_ref == res_vec
+
+
+class TestRLEZeroIdentity:
+    @given(values=sparse_st)
+    @settings(max_examples=60, deadline=None)
+    def test_streams_byte_identical(self, values):
+        codec = RLEZeroCodec()
+        arr = np.array(values, dtype=np.int64)
+        ref, vec = both_backends(lambda: codec.encode(arr))
+        assert ref.data == vec.data
+        assert (ref.bits, ref.values) == (vec.bits, vec.values)
+        dec_ref, dec_vec = both_backends(lambda: codec.decode(ref))
+        assert np.array_equal(dec_ref, dec_vec)
+
+    @given(
+        values=st.lists(
+            st.one_of(st.just(0), st.integers(-100, 100)), min_size=1, max_size=120
+        ),
+        strict=st.booleans(),
+        cut=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_streams_agree(self, values, strict, cut):
+        codec = RLEZeroCodec()
+        encoded = codec.encode(np.array(values, dtype=np.int64))
+        truncated = type(encoded)(
+            data=encoded.data[: max(0, len(encoded.data) - cut)],
+            bits=encoded.bits,
+            values=encoded.values,
+        )
+        outcomes = both_backends(
+            lambda: _outcome(lambda: codec.decode(truncated, strict=strict))
+        )
+        (kind_ref, res_ref), (kind_vec, res_vec) = outcomes
+        assert kind_ref == kind_vec
+        if kind_ref == "ok":
+            assert np.array_equal(res_ref, res_vec)
+        else:
+            assert res_ref == res_vec
+
+
+class TestCRC8:
+    @given(bits=st.lists(st.integers(0, 1), max_size=400))
+    @settings(max_examples=100, deadline=None)
+    def test_table_driven_matches_bitwise(self, bits):
+        assert crc8_bits(bits) == _crc8_bits_bitwise(bits)
+
+    def test_table_is_the_shift_register(self):
+        table = crc8_table()
+        assert len(table) == 256
+        assert table[0] == 0
+        # One-byte message: LUT pass must equal eight bitwise steps.
+        assert crc8_bits([1, 0, 1, 1, 0, 0, 1, 0]) == table[0b10110010]
+
+
+class TestBackendSelection:
+    def test_default_backend(self):
+        with backend(""):
+            # Empty value falls back to the default rather than erroring.
+            os.environ.pop("REPRO_CODEC_BACKEND")
+            assert active_codec_backend() == DEFAULT_CODEC_BACKEND
+
+    def test_unknown_backend_raises_at_first_use(self):
+        codec = GroupCodec(group_size=16, signed=True)
+        encoded = codec.encode(np.arange(8))
+        with backend("turbo"):
+            with pytest.raises(ValueError, match="REPRO_CODEC_BACKEND"):
+                codec.encode(np.arange(8))
+            with pytest.raises(ValueError, match="turbo"):
+                codec.decode(encoded)
+
+    def test_stats_report_backend_and_counters(self):
+        reset_codec_stats()
+        codec = GroupCodec(group_size=16, signed=True)
+        arr = np.arange(-16, 16)
+        with backend("vectorized"):
+            codec.decode(codec.encode(arr))
+            stats = codec_stats()
+            assert stats.backend == "vectorized"
+        with backend("reference"):
+            codec.encode(arr)
+            stats = codec_stats()
+            assert stats.backend == "reference"
+        assert stats.encodes == 2
+        assert stats.decodes == 1
+        assert stats.vectorized_calls == 2
+        assert stats.reference_calls == 1
+        assert stats.decoded_values == arr.size
+        reset_codec_stats()
+        assert codec_stats().encodes == 0
+
+
+class TestLowering:
+    def test_repeat_evaluations_reuse_lowered_artifacts(self, dncnn_trace):
+        layer = dncnn_trace[2]
+        term_maps.clear_term_maps()
+        term_maps.reset_lowering_stats()
+        lowered = term_maps.lower_layer(layer)
+        first = (lowered.padded, lowered.raw_terms, lowered.delta_terms)
+        computed_once = term_maps.lowering_stats()["computed"]
+        # A second evaluation — fresh view, same layer — recomputes nothing.
+        again = term_maps.lower_layer(layer)
+        second = (again.padded, again.raw_terms, again.delta_terms)
+        stats = term_maps.lowering_stats()
+        assert stats["computed"] == computed_once
+        assert stats["reused"] >= 3
+        for a, b in zip(first, second):
+            assert a is b
+            assert not a.flags.writeable
+
+    def test_group_geometry_memoized(self, dncnn_trace):
+        layer = dncnn_trace[2]
+        term_maps.clear_term_maps()
+        geo = term_maps.lower_layer(layer).group_geometry(16, signed=False)
+        assert geo is term_maps.group_geometry(layer, 16, signed=False)
+
+    def test_lower_layer_validates_axis(self, dncnn_trace):
+        with pytest.raises(ValueError, match="axis"):
+            term_maps.lower_layer(dncnn_trace[0], axis="z")
+
+
+class TestDownstreamIdentity:
+    """The fault injector and protection ladder must behave identically on
+    streams from either backend."""
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_inject_encoded_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.integers(-500, 500, size=96)
+        codec = GroupCodec(group_size=16, signed=True, checksum=True)
+
+        def run():
+            encoded = codec.encode(arr)
+            hit, faults = inject_encoded(
+                encoded, 0.01, BitFlip(1), np.random.default_rng(seed)
+            )
+            decoded, flagged = codec.decode_flagged(hit, strict=False)
+            return hit.data, faults, decoded, flagged
+
+        ref, vec = both_backends(run)
+        assert ref[0] == vec[0]
+        assert ref[1] == vec[1]
+        assert np.array_equal(ref[2], vec[2])
+        assert ref[3] == vec[3]
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_protected_roundtrip_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        fmap = rng.integers(0, 800, size=(2, 6, 40))
+        policy = ProtectionPolicy(
+            "full",
+            word_ecc=True,
+            stream_ecc=True,
+            group_checksum=True,
+            keyframe_interval=8,
+        )
+
+        def run():
+            pmap = store_protected(fmap, policy)
+            out, report = read_protected(pmap)
+            return pmap.stream.data, out, report.flagged_mask.copy()
+
+        ref, vec = both_backends(run)
+        assert ref[0] == vec[0]
+        assert np.array_equal(ref[1], vec[1])
+        assert np.array_equal(ref[2], vec[2])
