@@ -44,13 +44,10 @@ import dataclasses
 import itertools
 import json
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.arch.sim import (
     DEFAULT_MEMORY,
@@ -65,6 +62,7 @@ from repro.cache.store import stable_digest
 from repro.compression.traffic import LayerTraffic
 from repro.experiments.common import CI_MODEL_NAMES, format_table, geomean
 from repro.utils import timing
+from repro.utils.pool import DEFAULT_RETRY, RetryPolicy, run_tasks
 from repro.utils.rng import DEFAULT_SEED
 
 __all__ = [
@@ -83,38 +81,8 @@ DEFAULT_ACCELERATORS = ("VAA", "PRA", "Diffy")
 #: Checkpoint file format version (bump on layout changes).
 CHECKPOINT_VERSION = 1
 
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded-retry behaviour for one grid point.
-
-    ``attempts`` is the *total* try budget (1 = no retries).  Waits
-    between tries start at ``backoff_s`` and multiply by
-    ``backoff_factor``.  ``timeout_s`` bounds each pooled task's result
-    wait; ``None`` waits forever (a timed-out task is retried serially,
-    so a hung worker cannot wedge the whole grid).
-    """
-
-    attempts: int = 3
-    backoff_s: float = 0.25
-    backoff_factor: float = 2.0
-    timeout_s: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        if self.attempts < 1:
-            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
-        if self.backoff_s < 0 or self.backoff_factor < 1.0:
-            raise ValueError("backoff_s must be >= 0 and backoff_factor >= 1")
-
-    def delay_before(self, attempt: int) -> float:
-        """Sleep before try number ``attempt`` (1-based; no wait before 1)."""
-        if attempt <= 1:
-            return 0.0
-        return self.backoff_s * self.backoff_factor ** (attempt - 2)
-
-
-#: Default policy: three tries, 0.25s/0.5s waits, no per-task timeout.
-DEFAULT_RETRY = RetryPolicy()
+# RetryPolicy/DEFAULT_RETRY moved to repro.utils.pool (shared with the
+# fleet shard runner); re-exported here for backward compatibility.
 
 
 @dataclass(frozen=True)
@@ -350,150 +318,6 @@ class _Checkpoint:
             fh.flush()
 
 
-# --------------------------------------------------------------------------
-# Retrying execution
-
-
-def _attempt_serial(
-    args: tuple,
-    policy: RetryPolicy,
-    used_attempts: int = 0,
-    last_error: Optional[BaseException] = None,
-) -> "tuple[Optional[SweepRow], int, Optional[BaseException]]":
-    """Run one point in-process with the remaining retry budget.
-
-    Returns ``(row or None, total attempts used, last error)``.
-    """
-    attempt = used_attempts
-    error = last_error
-    while attempt < policy.attempts:
-        attempt += 1
-        delay = policy.delay_before(attempt)
-        if delay > 0:
-            time.sleep(delay)
-        try:
-            return _simulate_point(args), attempt, None
-        except Exception as exc:  # noqa: BLE001 - keep-going is the contract
-            error = exc
-            timing.count("sweep.attempt_failed")
-    return None, attempt, error
-
-
-def _run_points(
-    point_args: "list[tuple]",
-    max_workers: int,
-    warm: bool,
-    warm_args: "list[tuple]",
-    policy: RetryPolicy,
-    on_row: Callable[[SweepRow], None],
-    max_failures: Optional[int] = None,
-) -> "tuple[dict[SweepPoint, SweepRow], list[SweepFailure], bool]":
-    """Execute points (pooled when possible), retrying per the policy.
-
-    ``max_failures`` is a circuit breaker: after that many *consecutive*
-    exhausted points the sweep aborts instead of grinding through a grid
-    whose environment is broken (returns ``aborted=True``; rows completed
-    so far were already flushed through ``on_row``).
-    """
-    rows: dict[SweepPoint, SweepRow] = {}
-    failures: list[SweepFailure] = []
-    # (args, attempts already used, last error) pending a serial retry.
-    pending: "list[tuple[tuple, int, Optional[BaseException]]]" = []
-
-    if max_workers and len(point_args) > 1:
-        try:
-            pooled_rows, pending = _run_pooled(
-                point_args, max_workers, warm, warm_args, policy, on_row
-            )
-            rows.update(pooled_rows)
-        except OSError:
-            # No usable process pool (restricted sandbox, missing
-            # semaphores, ...): the sweep still completes serially.
-            timing.count("sweep.pool_fallback")
-            pending = [(a, 0, None) for a in point_args]
-    else:
-        pending = [(a, 0, None) for a in point_args]
-
-    consecutive = 0
-    for args, used, error in pending:
-        row, attempts, final_error = _attempt_serial(args, policy, used, error)
-        point = args[0]
-        if row is not None:
-            rows[point] = row
-            on_row(row)
-            consecutive = 0
-        else:
-            timing.count("sweep.point_failed")
-            failures.append(
-                SweepFailure(point=point, error=repr(final_error), attempts=attempts)
-            )
-            consecutive += 1
-            if max_failures is not None and consecutive >= max_failures:
-                timing.count("sweep.aborted")
-                return rows, failures, True
-    return rows, failures, False
-
-
-def _run_pooled(
-    point_args: "list[tuple]",
-    max_workers: int,
-    warm: bool,
-    warm_args: "list[tuple]",
-    policy: RetryPolicy,
-    on_row: Callable[[SweepRow], None],
-) -> "tuple[dict[SweepPoint, SweepRow], list[tuple[tuple, int, Optional[BaseException]]]]":
-    """One pass over the grid through a process pool.
-
-    Returns completed rows plus the points needing a serial retry (their
-    pooled try counts against the budget).  A dead pool routes every
-    unfinished point to the serial path instead of failing the sweep.
-    """
-    rows: dict[SweepPoint, SweepRow] = {}
-    pending: "list[tuple[tuple, int, Optional[BaseException]]]" = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        broken: Optional[BaseException] = None
-        if warm:
-            try:
-                with timing.timed("sweep.warm_traces"):
-                    list(pool.map(_warm_traces, warm_args))
-            except BrokenProcessPool as exc:
-                timing.count("sweep.pool_broken")
-                broken = exc
-        if broken is not None:
-            return rows, [(a, 0, broken) for a in point_args]
-
-        futures = []
-        try:
-            for args in point_args:
-                futures.append((pool.submit(_simulate_point, args), args))
-        except BrokenProcessPool as exc:
-            timing.count("sweep.pool_broken")
-            submitted = {a[1][0] for a in futures}
-            pending.extend(
-                (a, 0, exc) for a in point_args if a[0] not in submitted
-            )
-
-        with timing.timed("sweep.grid"):
-            for future, args in futures:
-                try:
-                    row = future.result(timeout=policy.timeout_s)
-                    rows[args[0]] = row
-                    on_row(row)
-                except FutureTimeoutError:
-                    timing.count("sweep.task_timeout")
-                    future.cancel()
-                    pending.append((args, 1, TimeoutError(
-                        f"pooled task exceeded {policy.timeout_s}s"
-                    )))
-                except BrokenProcessPool as exc:
-                    timing.count("sweep.pool_broken")
-                    pending.append((args, 1, exc))
-                except Exception as exc:  # noqa: BLE001 - retried serially
-                    timing.count("sweep.attempt_failed")
-                    pending.append((args, 1, exc))
-    return rows, pending
-
-
 def run_sweep(
     models: Sequence[str] = CI_MODEL_NAMES,
     accelerators: Sequence[str] = DEFAULT_ACCELERATORS,
@@ -559,10 +383,26 @@ def run_sweep(
     aborted = False
     with timing.timed("sweep.run"):
         if todo:
-            rows, failures, aborted = _run_points(
-                todo, max_workers, warm, warm_args, policy, on_row, max_failures
+            outcome = run_tasks(
+                _simulate_point,
+                todo,
+                max_workers=max_workers,
+                policy=policy,
+                warm_fn=_warm_traces if warm else None,
+                warm_args=warm_args,
+                on_result=lambda index, row: on_row(row),
+                max_failures=max_failures,
+                executor_factory=ProcessPoolExecutor,
+                counter_prefix="sweep",
             )
-            done.update(rows)
+            done.update(
+                {todo[i][0]: row for i, row in enumerate(outcome.results) if row is not None}
+            )
+            failures = [
+                SweepFailure(point=todo[f.index][0], error=f.error, attempts=f.attempts)
+                for f in outcome.failures
+            ]
+            aborted = outcome.aborted
     ordered = tuple(done[p] for p in points if p in done)
     return SweepResult(
         rows=ordered,

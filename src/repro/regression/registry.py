@@ -40,6 +40,7 @@ _EXPERIMENT_MODULES: "tuple[tuple[str, str], ...]" = (
     ("ext_faults", "ext_faults"),
     ("ext_protection", "ext_protection"),
     ("ext_serving", "ext_serving"),
+    ("ext_fleet", "ext_fleet"),
 )
 
 

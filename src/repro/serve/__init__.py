@@ -7,6 +7,7 @@ accelerator would actually face.  See ``repro.experiments.ext_serving``
 for the headline VAA-vs-PRA-vs-Diffy comparison under identical load.
 """
 
+from repro.serve import fleet
 from repro.serve.clock import VirtualClock
 from repro.serve.latency import (
     DEFAULT_ENGINES,
@@ -25,6 +26,7 @@ from repro.serve.telemetry import ServeTelemetry
 from repro.serve.workload import Request, WorkloadSpec, generate_requests
 
 __all__ = [
+    "fleet",
     "VirtualClock",
     "DEFAULT_ENGINES",
     "ServiceTimes",

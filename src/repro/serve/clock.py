@@ -56,9 +56,7 @@ class VirtualClock:
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         if time < self.now:
-            raise ValueError(
-                f"cannot schedule at t={time:.9f} before now={self.now:.9f}"
-            )
+            raise ValueError(f"cannot schedule at t={time:.9f} before now={self.now:.9f}")
         event = Event(float(time), next(self._seq), fn, args)
         heapq.heappush(self._heap, event)
         return event

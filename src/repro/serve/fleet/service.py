@@ -1,0 +1,302 @@
+"""Fleet orchestration: route globally, simulate shards, merge exactly.
+
+The coupling problem of simulating N nodes is that routing decisions
+depend on global order (session tables, backlog estimates, autoscaler
+windows) while each node's queueing dynamics depend only on its own
+substream.  The split here exploits that:
+
+1. **Routing pass** (:func:`route_requests`) — one deterministic walk
+   over the time-sorted arrival stream.  All cross-node coupling lives
+   here: the policy's tables, the autoscaler's windowed rate estimate,
+   migration detection.  Output is a columnar substream per node.
+2. **Shard pass** — each substream runs through the vectorized shard
+   engine (:mod:`repro.serve.fleet.shard`) *independently*, so shards
+   go to pool workers via the shared runner (:mod:`repro.utils.pool`)
+   with bounded retry and serial fallback.
+3. **Merge** — per-node telemetry folds into one
+   :class:`~repro.serve.telemetry.ServeTelemetry` in ascending node-id
+   order.  Histogram merges are exact and the order is pinned, so the
+   fleet report is byte-identical whether shards ran serially or on
+   any number of workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.serve.fleet.autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
+from repro.serve.fleet.routing import ROUTING_POLICIES, make_router
+from repro.serve.fleet.shard import ShardResult, ShardStream, simulate_shard
+from repro.serve.latency import ServiceTimes
+from repro.serve.service import ServeConfig
+from repro.serve.telemetry import ServeTelemetry
+from repro.serve.workload import Request
+from repro.utils import timing
+from repro.utils.pool import run_tasks
+from repro.utils.rng import DEFAULT_SEED
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "FleetConfig",
+    "NodeReport",
+    "FleetReport",
+    "RoutingOutcome",
+    "route_requests",
+    "simulate_fleet",
+]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet-level knobs on top of one per-node :class:`ServeConfig`."""
+
+    nodes: int = 4
+    routing: str = "state_aware"
+    node: ServeConfig = field(default_factory=lambda: ServeConfig(max_wait_s=0.0))
+    #: Virtual nodes per physical node on the consistent-hash ring.
+    vnodes: int = 64
+    #: Idle time after which a routing-table session entry expires
+    #: (None = never; the state stores still evict under their byte cap).
+    session_ttl_s: Optional[float] = None
+    #: Front-end per-request service estimate for least-loaded routing
+    #: (None = the engine's cold time, the only cost a state-blind
+    #: front end can assume).
+    est_service_s: Optional[float] = None
+    autoscale: Optional[AutoscalePolicy] = None
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        check_positive("nodes", self.nodes)
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(f"routing must be one of {ROUTING_POLICIES}, got {self.routing!r}")
+        if self.node.max_wait_s != 0.0:
+            raise ValueError("fleet nodes use greedy dispatch; node.max_wait_s must be 0")
+        if self.session_ttl_s is not None:
+            check_positive("session_ttl_s", self.session_ttl_s)
+        if self.est_service_s is not None:
+            check_positive("est_service_s", self.est_service_s)
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """One node's per-shard outcome (golden-serializable)."""
+
+    node_id: int
+    routed: int
+    migrated_in: int
+    completed: int
+    shed: int
+    warm_served: int
+    cold_served: int
+    reanchors_gap: int
+    reanchors_evicted: int
+    state_evictions: int
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Outcome of serving one workload on one fleet configuration."""
+
+    engine: str
+    policy: str
+    nodes_initial: int
+    nodes_final: int
+    peak_nodes: int
+    duration_s: float
+    requests_total: int
+    offered_rps: float
+    #: Requests whose session previously landed on a different node —
+    #: each one's temporal state is on the wrong machine, so it pays a
+    #: cold re-anchor frame.
+    migrations: int
+    warm_served: int
+    cold_served: int
+    reanchors_gap: int
+    reanchors_evicted: int
+    metrics: dict
+    scale_events: "tuple[ScaleEvent, ...]"
+    node_reports: "tuple[NodeReport, ...]"
+
+    __golden_properties__ = (
+        "goodput_rps",
+        "p99_ms",
+        "shed_rate",
+        "warm_fraction",
+        "migration_rate",
+    )
+
+    @property
+    def goodput_rps(self) -> float:
+        return float(self.metrics["goodput_rps"])
+
+    @property
+    def p99_ms(self) -> float:
+        return float(self.metrics["latency_ms"]["p99"])
+
+    @property
+    def shed_rate(self) -> float:
+        return float(self.metrics["shed_rate"])
+
+    @property
+    def warm_fraction(self) -> float:
+        served = self.warm_served + self.cold_served
+        return self.warm_served / served if served else 0.0
+
+    @property
+    def migration_rate(self) -> float:
+        return self.migrations / self.requests_total if self.requests_total else 0.0
+
+
+@dataclass(frozen=True)
+class RoutingOutcome:
+    """Product of the routing pass: substreams plus fleet-level facts."""
+
+    streams: "tuple[ShardStream, ...]"  # ascending node id; includes empty nodes
+    migrations: int
+    scale_events: "tuple[ScaleEvent, ...]"
+    nodes_final: int
+    peak_nodes: int
+
+
+def route_requests(
+    requests: Sequence[Request], times: ServiceTimes, config: FleetConfig
+) -> RoutingOutcome:
+    """One deterministic routing pass over the time-sorted arrival stream."""
+    router = make_router(
+        config.routing,
+        range(config.nodes),
+        seed=config.seed,
+        vnodes=config.vnodes,
+        est_service_s=config.est_service_s or times.cold_s,
+        session_ttl_s=config.session_ttl_s,
+    )
+    scaler = None
+    if config.autoscale is not None:
+        scaler = Autoscaler(config.autoscale, router, next_node_id=config.nodes)
+    columns: "dict[int, tuple[list, list, list, list]]" = {
+        n: ([], [], [], []) for n in range(config.nodes)
+    }
+    last_node: "dict[int, int]" = {}
+    migrations = 0
+    peak = len(router.active_nodes)
+    with timing.timed("fleet.route"):
+        for request in requests:
+            if scaler is not None:
+                scaler.observe(request.arrival_s)
+                peak = max(peak, len(router.active_nodes))
+            node = router.route(request.session_id, request.arrival_s)
+            previous = last_node.get(request.session_id)
+            migrated = previous is not None and previous != node
+            if migrated:
+                migrations += 1
+            last_node[request.session_id] = node
+            if node not in columns:
+                columns[node] = ([], [], [], [])
+            arr, sid, fidx, mig = columns[node]
+            arr.append(request.arrival_s)
+            sid.append(request.session_id)
+            fidx.append(request.frame_index)
+            mig.append(migrated)
+    streams = tuple(
+        ShardStream(
+            node_id=node,
+            arrival_s=np.asarray(arr, dtype=np.float64),
+            session_id=np.asarray(sid, dtype=np.int64),
+            frame_index=np.asarray(fidx, dtype=np.int64),
+            migrated=np.asarray(mig, dtype=bool),
+        )
+        for node, (arr, sid, fidx, mig) in sorted(columns.items())
+    )
+    return RoutingOutcome(
+        streams=streams,
+        migrations=migrations,
+        scale_events=tuple(scaler.events) if scaler is not None else (),
+        nodes_final=len(router.active_nodes),
+        peak_nodes=peak,
+    )
+
+
+def _simulate_shard_task(arg: "tuple[ShardStream, ServiceTimes, ServeConfig]") -> ShardResult:
+    """Module-level shard task (pool workers pickle it by reference)."""
+    stream, times, node_config = arg
+    return simulate_shard(stream, times, node_config)
+
+
+def simulate_fleet(
+    requests: Sequence[Request],
+    times: ServiceTimes,
+    config: FleetConfig,
+    duration_s: Optional[float] = None,
+    max_workers: int = 0,
+) -> FleetReport:
+    """Serve one workload on the fleet; deterministic across worker counts.
+
+    ``max_workers=0`` runs shards serially in-process; any positive
+    value fans them out through :func:`repro.utils.pool.run_tasks`
+    (bounded retry, serial fallback).  Both paths produce byte-identical
+    reports: shards are independent and the merge order is pinned to
+    ascending node id.
+    """
+    if duration_s is None:
+        duration_s = max((r.arrival_s for r in requests), default=0.0) or 1.0
+    check_positive("duration_s", duration_s)
+    routing = route_requests(requests, times, config)
+    tasks = [(stream, times, config.node) for stream in routing.streams]
+    with timing.timed("fleet.shards"):
+        outcome = run_tasks(
+            _simulate_shard_task, tasks, max_workers=max_workers, counter_prefix="fleet"
+        )
+    if not outcome.ok:
+        details = "; ".join(
+            f"node {tasks[f.index][0].node_id}: {f.error}" for f in outcome.failures
+        )
+        raise RuntimeError(f"fleet shard simulation failed: {details}")
+    results: "list[ShardResult]" = list(outcome.results)
+
+    merged = ServeTelemetry(
+        max_batch=config.node.max_batch, queue_capacity=config.node.queue_capacity
+    )
+    node_reports = []
+    warm = cold = gap = evicted_re = 0
+    for res in results:  # ascending node id — the merge order contract
+        merged.merge(res.telemetry)
+        warm += res.state.warm
+        cold += res.state.cold
+        gap += res.state.reanchors_gap
+        evicted_re += res.state.reanchors_evicted
+        node_reports.append(
+            NodeReport(
+                node_id=res.node_id,
+                routed=res.routed,
+                migrated_in=res.migrated_in,
+                completed=res.telemetry.completed,
+                shed=res.telemetry.shed,
+                warm_served=res.state.warm,
+                cold_served=res.state.cold,
+                reanchors_gap=res.state.reanchors_gap,
+                reanchors_evicted=res.state.reanchors_evicted,
+                state_evictions=res.state.evictions,
+            )
+        )
+    workers_total = config.node.workers * routing.peak_nodes
+    return FleetReport(
+        engine=times.engine,
+        policy=config.routing,
+        nodes_initial=config.nodes,
+        nodes_final=routing.nodes_final,
+        peak_nodes=routing.peak_nodes,
+        duration_s=float(duration_s),
+        requests_total=len(requests),
+        offered_rps=len(requests) / duration_s,
+        migrations=routing.migrations,
+        warm_served=warm,
+        cold_served=cold,
+        reanchors_gap=gap,
+        reanchors_evicted=evicted_re,
+        metrics=merged.snapshot(duration_s, workers_total),
+        scale_events=routing.scale_events,
+        node_reports=tuple(node_reports),
+    )

@@ -78,9 +78,7 @@ class ServiceTimes:
         return self.cold_s / self.warm_s if self.warm_s else float("inf")
 
 
-def temporal_term_map(
-    layer: ConvLayerTrace, previous: ConvLayerTrace
-) -> np.ndarray:
+def temporal_term_map(layer: ConvLayerTrace, previous: ConvLayerTrace) -> np.ndarray:
     """Booth term counts of the padded temporal-delta imap."""
     cur = np.asarray(padded_imap(layer), dtype=np.int64)
     prev = np.asarray(padded_imap(previous), dtype=np.int64)
@@ -93,10 +91,7 @@ def _frame_time_s(
     frequency_ghz: float,
 ) -> float:
     """Whole-frame compute latency, scaled to the target resolution."""
-    cycles = sum(
-        rec.cycles * (shape.windows / rec.windows)
-        for rec, shape in zip(records, shapes)
-    )
+    cycles = sum(rec.cycles * (shape.windows / rec.windows) for rec, shape in zip(records, shapes))
     return cycles / (frequency_ghz * 1e9)
 
 
@@ -144,9 +139,7 @@ def measure_service_times(
     return cache_store.fetch_or_compute(
         "serve_times",
         (model_name, tuple(engines), crop, frames, pan_px, resolution, mem.name, seed),
-        lambda: _measure(
-            model_name, tuple(engines), crop, frames, pan_px, resolution, mem, seed
-        ),
+        lambda: _measure(model_name, tuple(engines), crop, frames, pan_px, resolution, mem, seed),
     )
 
 
@@ -173,9 +166,7 @@ def _measure(
         model = model_for(engine)
         freq = model.config.frequency_ghz
         with timing.timed(f"serve.price.{engine}"):
-            cold = _frame_time_s(
-                [model.layer_cycles(layer) for layer in traces[0]], shapes, freq
-            )
+            cold = _frame_time_s([model.layer_cycles(layer) for layer in traces[0]], shapes, freq)
             warm_times = [
                 _frame_time_s(
                     _warm_records(engine, model, traces[i], traces[i - 1]),

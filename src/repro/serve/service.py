@@ -64,9 +64,7 @@ class ServeConfig:
         check_positive("queue_capacity", self.queue_capacity)
         check_positive("deadline_s", self.deadline_s)
         if self.state_capacity_bytes < 0:
-            raise ValueError(
-                f"state_capacity_bytes must be >= 0, got {self.state_capacity_bytes}"
-            )
+            raise ValueError(f"state_capacity_bytes must be >= 0, got {self.state_capacity_bytes}")
         # BatchPolicy validates max_batch / max_wait_s.
         BatchPolicy(self.max_batch, self.max_wait_s)
 
@@ -115,9 +113,7 @@ class InferenceService:
         self.config = config
         self.policy = BatchPolicy(config.max_batch, config.max_wait_s)
         self.queue = BoundedQueue(config.queue_capacity)
-        self.state = TemporalStateStore(
-            config.state_capacity_bytes, times.state_bytes
-        )
+        self.state = TemporalStateStore(config.state_capacity_bytes, times.state_bytes)
         self.telemetry = ServeTelemetry(
             max_batch=config.max_batch, queue_capacity=config.queue_capacity
         )
@@ -164,9 +160,7 @@ class InferenceService:
             batch = self.queue.take(self.policy.max_batch)
             service_s = self.times.batch_overhead_s
             for item in batch:
-                mode = self.state.serve(
-                    item.request.session_id, item.request.frame_index
-                )
+                mode = self.state.serve(item.request.session_id, item.request.frame_index)
                 service_s += self.times.request_s(mode)
             self.idle_workers -= 1
             self.telemetry.on_batch(len(batch), service_s)

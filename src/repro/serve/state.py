@@ -28,6 +28,17 @@ class StateStats:
     cold: int = 0  # frames served in spatial/raw mode
     insertions: int = 0
     evictions: int = 0
+    #: Cold serves that re-anchor a session which *had* state here: the
+    #: previous frame is resident but non-contiguous (shed frame gap)...
+    reanchors_gap: int = 0
+    #: ...or the session's state was evicted under the byte cap and the
+    #: session is being re-admitted.  Both pay a cold frame that a larger
+    #: store would not have charged — the honest migration/eviction cost.
+    reanchors_evicted: int = 0
+
+    @property
+    def reanchors(self) -> int:
+        return self.reanchors_gap + self.reanchors_evicted
 
     @property
     def warm_fraction(self) -> float:
@@ -49,13 +60,15 @@ class TemporalStateStore:
         if capacity_bytes < 0:
             raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
         if bytes_per_session <= 0:
-            raise ValueError(
-                f"bytes_per_session must be > 0, got {bytes_per_session}"
-            )
+            raise ValueError(f"bytes_per_session must be > 0, got {bytes_per_session}")
         self.capacity_bytes = int(capacity_bytes)
         self.bytes_per_session = int(bytes_per_session)
         #: session_id -> last frame index whose state is resident (LRU order).
         self._resident: "OrderedDict[int, int]" = OrderedDict()
+        #: Sessions whose state was evicted under the cap (cleared when the
+        #: session is re-admitted or explicitly dropped); distinguishes an
+        #: eviction re-anchor from a brand-new session's first cold frame.
+        self._displaced: "set[int]" = set()
         self.stats = StateStats()
 
     @property
@@ -88,6 +101,13 @@ class TemporalStateStore:
             self.stats.warm += 1
         else:
             self.stats.cold += 1
+            if session_id in self._resident:
+                self.stats.reanchors_gap += 1
+            elif session_id in self._displaced:
+                # Re-admission after a byte-cap eviction: this cold frame
+                # is the eviction's deferred cost, not a fresh session.
+                self.stats.reanchors_evicted += 1
+                self._displaced.discard(session_id)
         self._touch(session_id, frame_index)
         return "temporal" if warm else "spatial"
 
@@ -99,11 +119,13 @@ class TemporalStateStore:
         if self.bytes_per_session > self.capacity_bytes:
             return  # a single session cannot fit; stay cold forever
         while self.resident_bytes + self.bytes_per_session > self.capacity_bytes:
-            self._resident.popitem(last=False)
+            evicted_id, _ = self._resident.popitem(last=False)
+            self._displaced.add(evicted_id)
             self.stats.evictions += 1
         self._resident[session_id] = frame_index
         self.stats.insertions += 1
 
     def drop(self, session_id: int) -> bool:
         """Explicitly release one session's state (session end)."""
+        self._displaced.discard(session_id)
         return self._resident.pop(session_id, None) is not None

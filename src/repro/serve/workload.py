@@ -15,6 +15,7 @@ server cannot slow its clients down.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -57,9 +58,7 @@ class WorkloadSpec:
         check_positive("frames_per_session", self.frames_per_session)
         check_positive("frame_interval_s", self.frame_interval_s)
         if self.process not in ("poisson", "bursty"):
-            raise ValueError(
-                f"process must be 'poisson' or 'bursty', got {self.process!r}"
-            )
+            raise ValueError(f"process must be 'poisson' or 'bursty', got {self.process!r}")
         if self.process == "bursty":
             check_positive("burst_on_s", self.burst_on_s)
             check_positive("burst_off_s", self.burst_off_s)
@@ -117,3 +116,58 @@ def generate_requests(spec: WorkloadSpec) -> list[Request]:
 def offered_rps(requests: list[Request], spec: WorkloadSpec) -> float:
     """Offered request rate over the generation window."""
     return len(requests) / spec.duration_s
+
+
+def diurnal_rate(t: float, session_rate: float, amplitude: float, period_s: float) -> float:
+    """Instantaneous session rate of a diurnal (sinusoidal) load profile.
+
+    The profile has mean ``session_rate``, trough ``(1 - amplitude) *
+    session_rate`` at ``t = 0`` and peak ``(1 + amplitude) *
+    session_rate`` at ``t = period_s / 2`` — the day/night swing an
+    autoscaler has to track.
+    """
+    phase = 2.0 * math.pi * (t / period_s)
+    return session_rate * (1.0 - amplitude * math.cos(phase))
+
+
+def generate_diurnal_requests(
+    spec: WorkloadSpec, amplitude: float, period_s: float
+) -> list[Request]:
+    """Frame requests under a diurnal session-arrival profile.
+
+    Implemented by Poisson thinning: session starts are drawn from the
+    *peak*-rate homogeneous process of ``spec`` (which must be Poisson)
+    and each start at time ``t`` is kept with probability
+    ``rate(t) / peak`` — the standard exact construction of an
+    inhomogeneous Poisson process.  Kept sessions are renumbered densely
+    so session ids stay contiguous.  A pure function of ``spec``,
+    ``amplitude`` and ``period_s`` — no :class:`WorkloadSpec` fields are
+    added, so existing workload goldens are untouched.
+    """
+    if spec.process != "poisson":
+        raise ValueError(f"diurnal thinning requires a poisson spec, got {spec.process!r}")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+    check_positive("period_s", period_s)
+    peak = spec.session_rate * (1.0 + amplitude)
+    peak_spec = WorkloadSpec(
+        duration_s=spec.duration_s,
+        session_rate=peak,
+        frames_per_session=spec.frames_per_session,
+        frame_interval_s=spec.frame_interval_s,
+        process="poisson",
+        seed=spec.seed,
+    )
+    thin = rng_for(spec.seed, "serve-diurnal", amplitude, period_s)
+    starts = [
+        t
+        for t in _session_starts(peak_spec)
+        if thin.random() * peak < diurnal_rate(t, spec.session_rate, amplitude, period_s)
+    ]
+    requests = [
+        Request(session_id=sid, frame_index=f, arrival_s=start + f * spec.frame_interval_s)
+        for sid, start in enumerate(starts)
+        for f in range(spec.frames_per_session)
+    ]
+    requests.sort(key=lambda r: (r.arrival_s, r.session_id, r.frame_index))
+    return requests

@@ -1,0 +1,270 @@
+"""Pooled task execution with bounded retry and serial fallback.
+
+Extracted from the sweep runner (PR 3) so every fan-out in this
+repository — simulation grids, fleet shards — shares one resilience
+story instead of re-implementing it:
+
+- **Per-task bounded retry** — every task gets ``RetryPolicy.attempts``
+  tries with exponential backoff; a pooled task that times out or whose
+  worker dies is retried serially.  Tasks that exhaust the budget become
+  :class:`TaskFailure` records instead of aborting the run.
+- **Pool degradation** — if the process pool cannot be created
+  (``OSError``: restricted sandbox, missing semaphores) or dies
+  (``BrokenProcessPool``), the runner falls back to serial in-process
+  execution and still completes every task.
+- **Deterministic results** — results are returned index-aligned with
+  the submitted task list, so callers merge them in a fixed order no
+  matter how the pool interleaved execution.
+
+``fn`` must be a module-level callable of one argument (the pool
+pickles it); ``max_workers=0`` forces serial execution.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.utils import timing
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY", "TaskFailure", "TaskRunResult", "run_tasks"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry behaviour for one task.
+
+    ``attempts`` is the *total* try budget (1 = no retries).  Waits
+    between tries start at ``backoff_s`` and multiply by
+    ``backoff_factor``.  ``timeout_s`` bounds each pooled task's result
+    wait; ``None`` waits forever (a timed-out task is retried serially,
+    so a hung worker cannot wedge the whole run).
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_s must be >= 0 and backoff_factor >= 1")
+
+    def delay_before(self, attempt: int) -> float:
+        """Sleep before try number ``attempt`` (1-based; no wait before 1)."""
+        if attempt <= 1:
+            return 0.0
+        return self.backoff_s * self.backoff_factor ** (attempt - 2)
+
+
+#: Default policy: three tries, 0.25s/0.5s waits, no per-task timeout.
+DEFAULT_RETRY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that exhausted its retry budget; the run kept going."""
+
+    index: int
+    error: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class TaskRunResult:
+    """Outcome of one :func:`run_tasks` call.
+
+    ``results`` is index-aligned with the submitted task list; failed
+    tasks hold ``None`` and appear in ``failures``.  ``aborted`` is True
+    when the ``max_failures`` circuit breaker tripped: tasks after the
+    abort point were never attempted (neither results nor failures).
+    """
+
+    results: "tuple[Any, ...]"
+    failures: "tuple[TaskFailure, ...]"
+    aborted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.aborted
+
+
+def _attempt_serial(
+    fn: "Callable[[Any], Any]",
+    arg: Any,
+    policy: RetryPolicy,
+    used_attempts: int = 0,
+    last_error: "Optional[BaseException]" = None,
+    counter_prefix: str = "pool",
+) -> "tuple[Optional[Any], int, Optional[BaseException]]":
+    """Run one task in-process with the remaining retry budget.
+
+    Returns ``(result or None, total attempts used, last error)``.
+    """
+    attempt = used_attempts
+    error = last_error
+    while attempt < policy.attempts:
+        attempt += 1
+        delay = policy.delay_before(attempt)
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            return fn(arg), attempt, None
+        except Exception as exc:  # noqa: BLE001 - keep-going is the contract
+            error = exc
+            timing.count(f"{counter_prefix}.attempt_failed")
+    return None, attempt, error
+
+
+def _run_pooled(
+    fn: "Callable[[Any], Any]",
+    args: "list[tuple[int, Any]]",
+    max_workers: int,
+    warm_fn: "Optional[Callable[[Any], Any]]",
+    warm_args: "Sequence[Any]",
+    policy: RetryPolicy,
+    on_result: "Callable[[int, Any], None]",
+    executor_factory: "Callable[..., ProcessPoolExecutor]",
+    counter_prefix: str,
+) -> "tuple[dict[int, Any], list[tuple[int, Any, int, Optional[BaseException]]]]":
+    """One pass over the tasks through a process pool.
+
+    Returns completed results plus the tasks needing a serial retry
+    (their pooled try counts against the budget).  A dead pool routes
+    every unfinished task to the serial path instead of failing the run.
+    """
+    results: "dict[int, Any]" = {}
+    pending: "list[tuple[int, Any, int, Optional[BaseException]]]" = []
+    with executor_factory(max_workers=max_workers) as pool:
+        broken: "Optional[BaseException]" = None
+        if warm_fn is not None and warm_args:
+            try:
+                with timing.timed(f"{counter_prefix}.warm"):
+                    list(pool.map(warm_fn, warm_args))
+            except BrokenProcessPool as exc:
+                timing.count(f"{counter_prefix}.pool_broken")
+                broken = exc
+        if broken is not None:
+            return results, [(i, a, 0, broken) for i, a in args]
+
+        futures = []
+        try:
+            for index, arg in args:
+                futures.append((pool.submit(fn, arg), index, arg))
+        except BrokenProcessPool as exc:
+            timing.count(f"{counter_prefix}.pool_broken")
+            submitted = {i for _, i, _ in futures}
+            pending.extend((i, a, 0, exc) for i, a in args if i not in submitted)
+
+        with timing.timed(f"{counter_prefix}.tasks"):
+            for future, index, arg in futures:
+                try:
+                    result = future.result(timeout=policy.timeout_s)
+                    results[index] = result
+                    on_result(index, result)
+                except FutureTimeoutError:
+                    timing.count(f"{counter_prefix}.task_timeout")
+                    future.cancel()
+                    pending.append(
+                        (
+                            index,
+                            arg,
+                            1,
+                            TimeoutError(f"pooled task exceeded {policy.timeout_s}s"),
+                        )
+                    )
+                except BrokenProcessPool as exc:
+                    timing.count(f"{counter_prefix}.pool_broken")
+                    pending.append((index, arg, 1, exc))
+                except Exception as exc:  # noqa: BLE001 - retried serially
+                    timing.count(f"{counter_prefix}.attempt_failed")
+                    pending.append((index, arg, 1, exc))
+    return results, pending
+
+
+def run_tasks(
+    fn: "Callable[[Any], Any]",
+    task_args: "Sequence[Any]",
+    max_workers: int = 0,
+    policy: "Optional[RetryPolicy]" = None,
+    warm_fn: "Optional[Callable[[Any], Any]]" = None,
+    warm_args: "Sequence[Any]" = (),
+    on_result: "Optional[Callable[[int, Any], None]]" = None,
+    max_failures: "Optional[int]" = None,
+    executor_factory: "Optional[Callable[..., ProcessPoolExecutor]]" = None,
+    counter_prefix: str = "pool",
+) -> TaskRunResult:
+    """Execute ``fn`` over ``task_args`` (pooled when possible), with retry.
+
+    ``warm_fn``/``warm_args`` run a pooled precompute phase before the
+    tasks (e.g. populating a shared disk cache).  ``on_result(index,
+    result)`` fires as each task completes — pooled completions arrive in
+    submission order, so callbacks see a deterministic sequence.
+    ``max_failures`` is a circuit breaker: after that many *consecutive*
+    exhausted tasks the run aborts (``aborted=True``) instead of grinding
+    through a broken environment.  ``executor_factory`` overrides the
+    process-pool constructor (tests inject failing pools through it).
+    """
+    policy = policy if policy is not None else DEFAULT_RETRY
+    notify = on_result if on_result is not None else (lambda index, result: None)
+    factory = executor_factory if executor_factory is not None else ProcessPoolExecutor
+    indexed = list(enumerate(task_args))
+
+    results: "dict[int, Any]" = {}
+    # (index, arg, attempts already used, last error) pending a serial retry.
+    pending: "list[tuple[int, Any, int, Optional[BaseException]]]" = []
+
+    if max_workers and len(indexed) > 1:
+        try:
+            pooled, pending = _run_pooled(
+                fn,
+                indexed,
+                max_workers,
+                warm_fn,
+                warm_args,
+                policy,
+                notify,
+                factory,
+                counter_prefix,
+            )
+            results.update(pooled)
+        except OSError:
+            # No usable process pool (restricted sandbox, missing
+            # semaphores, ...): the run still completes serially.
+            timing.count(f"{counter_prefix}.pool_fallback")
+            pending = [(i, a, 0, None) for i, a in indexed]
+    else:
+        pending = [(i, a, 0, None) for i, a in indexed]
+
+    failures: "list[TaskFailure]" = []
+    aborted = False
+    consecutive = 0
+    for index, arg, used, error in pending:
+        result, attempts, final_error = _attempt_serial(
+            fn, arg, policy, used, error, counter_prefix
+        )
+        if final_error is None:
+            results[index] = result
+            notify(index, result)
+            consecutive = 0
+        else:
+            timing.count(f"{counter_prefix}.task_failed")
+            failures.append(
+                TaskFailure(index=index, error=repr(final_error), attempts=attempts)
+            )
+            consecutive += 1
+            if max_failures is not None and consecutive >= max_failures:
+                timing.count(f"{counter_prefix}.aborted")
+                aborted = True
+                break
+    return TaskRunResult(
+        results=tuple(results.get(i) for i in range(len(indexed))),
+        failures=tuple(failures),
+        aborted=aborted,
+    )

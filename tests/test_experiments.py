@@ -251,7 +251,7 @@ class TestRunAll:
             "table3", "table4", "fig11", "fig12", "fig13", "table5",
             "fig14", "fig15", "table6", "table7", "fig16", "fig17",
             "fig18", "fig19", "fig20", "ablations", "ext_temporal",
-            "ext_faults", "ext_protection",
+            "ext_faults", "ext_protection", "ext_serving", "ext_fleet",
         ):
             assert key in run_all.EXPERIMENTS
 

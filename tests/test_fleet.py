@@ -1,0 +1,334 @@
+"""Tests for fleet-scale serving (repro.serve.fleet.*, ext_fleet)."""
+
+import numpy as np
+import pytest
+
+from repro.regression.serialize import canonical_dumps, to_jsonable
+from repro.serve.fleet import (
+    AutoscalePolicy,
+    Autoscaler,
+    FleetConfig,
+    ShardStream,
+    make_router,
+    route_requests,
+    simulate_fleet,
+    simulate_shard,
+)
+from repro.serve.latency import ServiceTimes
+from repro.serve.service import InferenceService, ServeConfig
+from repro.serve.workload import WorkloadSpec, generate_diurnal_requests, generate_requests
+
+
+def _times(cold=0.05, warm=0.01, overhead=0.004, state_bytes=1000, engine="Diffy"):
+    return ServiceTimes(
+        engine=engine,
+        cold_s=cold,
+        warm_s=warm,
+        batch_overhead_s=overhead,
+        state_bytes=state_bytes,
+        frequency_ghz=1.0,
+    )
+
+
+def _node(**kw):
+    base = dict(
+        workers=2,
+        max_batch=4,
+        max_wait_s=0.0,
+        queue_capacity=16,
+        deadline_s=0.3,
+        state_capacity_bytes=8000,
+    )
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+def _spec(**kw):
+    base = dict(
+        duration_s=10.0,
+        session_rate=8.0,
+        frames_per_session=5,
+        frame_interval_s=0.1,
+        seed=7,
+    )
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+class TestShardEquivalence:
+    """The vectorized shard engine IS InferenceService at max_wait_s=0."""
+
+    INT_COUNTERS = (
+        "arrived",
+        "admitted",
+        "shed_queue_full",
+        "shed_deadline",
+        "completed",
+        "good",
+        "late",
+        "batches",
+        "max_queue_depth",
+    )
+
+    def _assert_equivalent(self, cfg, spec, times):
+        reqs = generate_requests(spec)
+        ref = InferenceService(times, cfg)
+        ref.run(reqs, spec.duration_s)
+        res = simulate_shard(ShardStream.from_requests(0, reqs), times, cfg)
+        for name in self.INT_COUNTERS:
+            assert getattr(res.telemetry, name) == getattr(ref.telemetry, name), name
+        # Histogram counts are bit-identical, so percentiles are too.
+        assert res.telemetry.latency.counts == ref.telemetry.latency.counts
+        assert res.telemetry.batch_sizes.counts == ref.telemetry.batch_sizes.counts
+        assert res.telemetry.queue_depths.counts == ref.telemetry.queue_depths.counts
+        # busy_s accumulates in dispatch order in both engines: exact.
+        assert res.telemetry.busy_s == ref.telemetry.busy_s
+        # Latency totals differ only in float summation order.
+        assert res.telemetry.latency.total == pytest.approx(ref.telemetry.latency.total, rel=1e-12)
+        counters = ("warm", "cold", "insertions", "evictions", "reanchors_gap", "reanchors_evicted")
+        for name in counters:
+            assert getattr(res.state, name) == getattr(ref.state.stats, name), name
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("rate", [2.0, 10.0, 40.0])
+    def test_telemetry_identical_across_loads(self, seed, rate):
+        process = "bursty" if seed % 2 else "poisson"
+        self._assert_equivalent(
+            _node(), _spec(session_rate=rate, seed=seed, process=process), _times()
+        )
+
+    def test_telemetry_identical_under_shedding_pressure(self):
+        cfg = _node(workers=1, queue_capacity=3, deadline_s=0.1, state_capacity_bytes=3000)
+        self._assert_equivalent(cfg, _spec(session_rate=30.0), _times(cold=0.08))
+
+    def test_telemetry_identical_without_state(self):
+        self._assert_equivalent(_node(state_capacity_bytes=0), _spec(), _times())
+
+    def test_empty_stream(self):
+        res = simulate_shard(ShardStream.from_requests(3, []), _times(), _node())
+        assert res.node_id == 3
+        assert res.routed == 0
+        assert res.telemetry.arrived == 0
+
+    def test_rejects_wait_batching(self):
+        cfg = _node(max_wait_s=0.5)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            simulate_shard(ShardStream.from_requests(0, []), _times(), cfg)
+
+    def test_stream_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            ShardStream(
+                node_id=0,
+                arrival_s=np.array([0.0, 1.0]),
+                session_id=np.array([1]),
+                frame_index=np.array([0, 1]),
+                migrated=np.array([False, False]),
+            )
+        with pytest.raises(ValueError, match="sorted"):
+            ShardStream(
+                node_id=0,
+                arrival_s=np.array([1.0, 0.0]),
+                session_id=np.array([1, 1]),
+                frame_index=np.array([0, 1]),
+                migrated=np.array([False, False]),
+            )
+
+
+class TestRouteRequests:
+    def test_partition_is_exact(self):
+        reqs = generate_requests(_spec())
+        outcome = route_requests(reqs, _times(), FleetConfig(nodes=4, routing="hash"))
+        assert sum(len(s) for s in outcome.streams) == len(reqs)
+        assert [s.node_id for s in outcome.streams] == sorted(s.node_id for s in outcome.streams)
+        for stream in outcome.streams:
+            arr = stream.arrival_s
+            assert np.all(np.diff(arr) >= 0)
+
+    def test_sticky_policies_never_migrate_static_fleet(self):
+        reqs = generate_requests(_spec())
+        for policy in ("hash", "state_aware"):
+            outcome = route_requests(reqs, _times(), FleetConfig(nodes=4, routing=policy))
+            assert outcome.migrations == 0, policy
+
+    def test_scatter_policies_migrate(self):
+        reqs = generate_requests(_spec())
+        for policy in ("random", "least_loaded"):
+            outcome = route_requests(reqs, _times(), FleetConfig(nodes=4, routing=policy))
+            assert outcome.migrations > 0, policy
+
+    def test_migrated_flags_sum_to_migrations(self):
+        reqs = generate_requests(_spec())
+        outcome = route_requests(reqs, _times(), FleetConfig(nodes=4, routing="random"))
+        flagged = sum(int(np.count_nonzero(s.migrated)) for s in outcome.streams)
+        assert flagged == outcome.migrations
+
+
+class TestFleetSimulation:
+    def test_cold_runs_byte_identical(self):
+        reqs = generate_requests(_spec())
+        cfg = FleetConfig(nodes=4, routing="state_aware", node=_node())
+        a = simulate_fleet(reqs, _times(), cfg, 10.0)
+        b = simulate_fleet(reqs, _times(), cfg, 10.0)
+        assert canonical_dumps(to_jsonable(a)) == canonical_dumps(to_jsonable(b))
+
+    @pytest.mark.parametrize("policy", ["random", "hash", "least_loaded", "state_aware"])
+    def test_worker_count_invariant(self, policy):
+        reqs = generate_requests(_spec(session_rate=15.0))
+        cfg = FleetConfig(nodes=4, routing=policy, node=_node())
+        serial = simulate_fleet(reqs, _times(), cfg, 10.0, max_workers=0)
+        pooled = simulate_fleet(reqs, _times(), cfg, 10.0, max_workers=2)
+        assert canonical_dumps(to_jsonable(serial)) == canonical_dumps(to_jsonable(pooled))
+
+    def test_fleet_matches_single_service_at_one_node(self):
+        # A 1-node fleet is exactly the single-node service (any policy
+        # collapses; the shard engine is DES-equivalent).
+        reqs = generate_requests(_spec())
+        cfg = FleetConfig(nodes=1, routing="hash", node=_node())
+        fleet = simulate_fleet(reqs, _times(), cfg, 10.0)
+        ref = InferenceService(_times(), _node())
+        report = ref.run(reqs, 10.0)
+        assert fleet.metrics["completed"] == report.metrics["completed"]
+        assert fleet.metrics["good"] == report.metrics["good"]
+        assert fleet.warm_served == report.warm_served
+        assert fleet.migrations == 0
+
+    def test_request_conservation(self):
+        reqs = generate_requests(_spec(session_rate=25.0))
+        cfg = FleetConfig(nodes=3, routing="least_loaded", node=_node(queue_capacity=4))
+        rep = simulate_fleet(reqs, _times(), cfg, 10.0)
+        m = rep.metrics
+        assert m["arrived"] == len(reqs)
+        assert m["completed"] + m["shed_queue_full"] + m["shed_deadline"] == m["arrived"]
+        assert sum(n.routed for n in rep.node_reports) == len(reqs)
+
+    def test_migrations_become_cold_reanchors(self):
+        # Every router-observed migration must show up on the nodes as a
+        # cold serve (the session's state is on the wrong machine).
+        reqs = generate_requests(_spec())
+        cfg = FleetConfig(nodes=4, routing="random", node=_node(state_capacity_bytes=10**9))
+        rep = simulate_fleet(reqs, _times(), cfg, 10.0)
+        assert rep.migrations > 0
+        # With no eviction/shed pressure, cold serves = session heads +
+        # migration re-anchors exactly.
+        sessions = len({r.session_id for r in reqs})
+        assert rep.cold_served == sessions + rep.migrations
+
+    def test_state_aware_beats_scatter_on_warm_fraction(self):
+        reqs = generate_requests(_spec(session_rate=20.0))
+        node = _node()
+        reports = {
+            policy: simulate_fleet(
+                reqs, _times(), FleetConfig(nodes=4, routing=policy, node=node), 10.0
+            )
+            for policy in ("random", "state_aware")
+        }
+        assert reports["state_aware"].warm_fraction > reports["random"].warm_fraction
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="routing"):
+            FleetConfig(nodes=2, routing="round_robin")
+        with pytest.raises(ValueError, match="max_wait_s"):
+            FleetConfig(nodes=2, node=_node(max_wait_s=0.1))
+        with pytest.raises(ValueError, match="nodes"):
+            FleetConfig(nodes=0)
+
+
+class TestAutoscaler:
+    def _policy(self, **kw):
+        base = dict(min_nodes=1, max_nodes=8, eval_interval_s=2.0, target_rps_per_node=30.0)
+        base.update(kw)
+        return AutoscalePolicy(**base)
+
+    def test_scales_up_under_diurnal_peak_and_down_after(self):
+        spec = _spec(duration_s=20.0, session_rate=12.0, frames_per_session=6)
+        reqs = generate_diurnal_requests(spec, amplitude=0.8, period_s=20.0)
+        cfg = FleetConfig(nodes=2, routing="state_aware", node=_node(), autoscale=self._policy())
+        rep = simulate_fleet(reqs, _times(), cfg, 20.0)
+        actions = [e.action for e in rep.scale_events]
+        assert "add" in actions
+        assert "drain" in actions
+        assert rep.peak_nodes > 2
+        assert rep.peak_nodes <= 8
+        # Every drain is eventually followed by a remove of that node.
+        drained = [e.node_id for e in rep.scale_events if e.action == "drain"]
+        removed = {e.node_id for e in rep.scale_events if e.action == "remove"}
+        assert set(drained[:-1]) <= removed  # last drain may still be in grace
+
+    def test_respects_max_nodes(self):
+        spec = _spec(duration_s=10.0, session_rate=60.0)
+        reqs = generate_requests(spec)
+        cfg = FleetConfig(
+            nodes=1, routing="state_aware", node=_node(), autoscale=self._policy(max_nodes=3)
+        )
+        rep = simulate_fleet(reqs, _times(), cfg, 10.0)
+        assert rep.peak_nodes <= 3
+
+    def test_never_drains_below_min(self):
+        spec = _spec(duration_s=10.0, session_rate=0.5)
+        reqs = generate_requests(spec)
+        cfg = FleetConfig(
+            nodes=2, routing="state_aware", node=_node(), autoscale=self._policy(min_nodes=2)
+        )
+        rep = simulate_fleet(reqs, _times(), cfg, 10.0)
+        assert rep.nodes_final >= 2
+        assert all(e.action != "drain" for e in rep.scale_events)
+
+    def test_new_node_ids_are_monotone(self):
+        policy = self._policy(target_rps_per_node=1.0)
+        router = make_router("state_aware", range(2), session_ttl_s=100.0)
+        scaler = Autoscaler(policy, router, next_node_id=2)
+        for t in np.arange(0.05, 12.0, 0.05):
+            scaler.observe(float(t))
+            router.route(int(t * 20) % 7, float(t))
+        added = [e.node_id for e in scaler.events if e.action == "add"]
+        assert added == sorted(added)
+        assert added and added[0] == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_nodes"):
+            AutoscalePolicy(min_nodes=4, max_nodes=2)
+        with pytest.raises(ValueError, match="down_hysteresis"):
+            AutoscalePolicy(down_hysteresis=1.5)
+
+
+class TestExtFleetStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.experiments import ext_fleet
+
+        return ext_fleet.run(
+            crop=32,
+            node_counts=(1, 2),
+            duration_units=20.0,
+            max_workers=0,
+        )
+
+    def test_cell_grid_complete(self, study):
+        assert len(study.cells) == len(study.engines) * len(study.policies) * 2
+        assert study.cell("Diffy", "state_aware", 2).nodes == 2
+        with pytest.raises(KeyError):
+            study.cell("Diffy", "state_aware", 99)
+
+    def test_golden_properties_populated(self, study):
+        assert set(study.diffy_goodput_by_nodes) == {1, 2}
+        assert set(study.warm_fraction_ladder) == set(study.policies)
+        assert study.diffy_over_vaa_goodput > 1.0
+        assert set(study.autoscale_summary) == set(study.engines)
+
+    def test_format_result(self, study):
+        from repro.experiments import ext_fleet
+
+        text = ext_fleet.format_result(study)
+        assert "fleet serving" in text
+        assert "state_aware" in text
+        assert "autoscaling" in text
+
+    def test_serializable(self, study):
+        a = canonical_dumps(to_jsonable(study))
+        assert "diffy_goodput_by_nodes" in a
+
+    def test_requires_vaa(self):
+        from repro.experiments import ext_fleet
+
+        with pytest.raises(ValueError, match="VAA"):
+            ext_fleet.run(engines=("Diffy",))

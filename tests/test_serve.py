@@ -17,6 +17,8 @@ from repro.serve.state import TemporalStateStore
 from repro.serve.workload import (
     Request,
     WorkloadSpec,
+    diurnal_rate,
+    generate_diurnal_requests,
     generate_requests,
     offered_rps,
 )
@@ -172,6 +174,42 @@ class TestWorkload:
         with pytest.raises(ValueError):
             self.spec(process="bursty", burst_on_s=0.0)
 
+    def test_diurnal_rate_shape(self):
+        assert diurnal_rate(0.0, 10.0, 0.5, 100.0) == pytest.approx(5.0)
+        assert diurnal_rate(50.0, 10.0, 0.5, 100.0) == pytest.approx(15.0)
+        assert diurnal_rate(100.0, 10.0, 0.5, 100.0) == pytest.approx(5.0)
+
+    def test_diurnal_requests_deterministic_and_sorted(self):
+        spec = self.spec(duration_s=50.0)
+        a = generate_diurnal_requests(spec, amplitude=0.8, period_s=50.0)
+        b = generate_diurnal_requests(spec, amplitude=0.8, period_s=50.0)
+        assert a == b
+        assert [r.arrival_s for r in a] == sorted(r.arrival_s for r in a)
+        assert sorted({r.session_id for r in a}) == list(range(len({r.session_id for r in a})))
+
+    def test_diurnal_concentrates_load_at_peak(self):
+        # One full period: the half around the peak must hold most sessions.
+        spec = self.spec(duration_s=400.0, session_rate=5.0, frames_per_session=1)
+        reqs = generate_diurnal_requests(spec, amplitude=0.9, period_s=400.0)
+        peak_half = sum(1 for r in reqs if 100.0 <= r.arrival_s < 300.0)
+        assert peak_half > 0.75 * len(reqs)
+        # Mean rate stays near the spec's rate (thinning preserves it).
+        assert len(reqs) / spec.duration_s == pytest.approx(5.0, rel=0.15)
+
+    def test_diurnal_zero_amplitude_matches_plain_poisson_rate(self):
+        spec = self.spec(duration_s=300.0, session_rate=3.0, frames_per_session=1)
+        reqs = generate_diurnal_requests(spec, amplitude=0.0, period_s=100.0)
+        assert len(reqs) / spec.duration_s == pytest.approx(3.0, rel=0.15)
+
+    def test_diurnal_validation(self):
+        spec = self.spec()
+        with pytest.raises(ValueError, match="amplitude"):
+            generate_diurnal_requests(spec, amplitude=1.5, period_s=10.0)
+        with pytest.raises(ValueError, match="period_s"):
+            generate_diurnal_requests(spec, amplitude=0.5, period_s=0.0)
+        with pytest.raises(ValueError, match="poisson"):
+            generate_diurnal_requests(self.spec(process="bursty"), 0.5, 10.0)
+
 
 class TestTemporalStateStore:
     def test_consecutive_frames_go_warm(self):
@@ -189,6 +227,48 @@ class TestTemporalStateStore:
         assert store.serve(1, 2) == "spatial"
         # ...but re-anchors the session: frame 3 is warm again.
         assert store.serve(1, 3) == "temporal"
+
+    def test_gap_reanchor_counted(self):
+        store = TemporalStateStore(capacity_bytes=100, bytes_per_session=10)
+        store.serve(1, 0)
+        store.serve(1, 2)  # gap: shed frame 1
+        assert store.stats.reanchors_gap == 1
+        assert store.stats.reanchors_evicted == 0
+        assert store.stats.reanchors == 1
+
+    def test_eviction_readmission_counts_as_reanchor(self):
+        # Regression: a session evicted under the byte cap used to come
+        # back as an uncounted "fresh" cold frame — only gap re-anchors
+        # were telemetered, understating the eviction cost.
+        store = TemporalStateStore(capacity_bytes=20, bytes_per_session=10)
+        store.serve(1, 0)
+        store.serve(2, 0)
+        store.serve(3, 0)  # evicts session 1
+        assert store.stats.evictions == 1
+        assert store.stats.reanchors_evicted == 0
+        store.serve(1, 1)  # re-admission: contiguous frame, but state is gone
+        assert store.stats.reanchors_evicted == 1
+        assert store.stats.reanchors_gap == 0
+        assert store.stats.reanchors == 1
+        # The re-anchor re-admitted the session: next frame is warm.
+        assert store.serve(1, 2) == "temporal"
+
+    def test_first_frame_is_not_a_reanchor(self):
+        store = TemporalStateStore(capacity_bytes=100, bytes_per_session=10)
+        store.serve(1, 0)
+        store.serve(2, 0)
+        assert store.stats.cold == 2
+        assert store.stats.reanchors == 0
+
+    def test_drop_clears_displacement(self):
+        # An evicted session that explicitly ends must not charge a
+        # re-anchor if the same id is ever served again.
+        store = TemporalStateStore(capacity_bytes=10, bytes_per_session=10)
+        store.serve(1, 0)
+        store.serve(2, 0)  # evicts session 1
+        store.drop(1)
+        store.serve(1, 5)
+        assert store.stats.reanchors_evicted == 0
 
     def test_lru_eviction_order(self):
         store = TemporalStateStore(capacity_bytes=20, bytes_per_session=10)
