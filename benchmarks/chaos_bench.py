@@ -1,0 +1,231 @@
+"""Chaos-under-load smoke benchmark: corruption SLO and goodput bounds.
+
+Runs the chaos grid (:mod:`repro.serve.chaos.campaign`) on one measured
+workload — scene cuts and motion bursts overlaid, one node crash, one
+degraded-node window, one correlated fault+load burst — and guards three
+invariants, exiting non-zero if any fails:
+
+1. **Zero silent corruptions under ``full``** — at every fault rate
+   swept, the full protection ladder never serves corrupt temporal state
+   without flagging it (the silent-corruption SLO).
+2. **Bounded chaos tax** — the fault-free ``full``-ladder cell keeps at
+   least ``1 - MAX_CHAOS_LOSS`` of the goodput the same fleet achieves
+   on the same workload with no chaos at all: crash + degrade + burst +
+   protection overhead must degrade, not collapse, the service.
+3. **Bounded fault tax** — within the ``full`` ladder, goodput at every
+   swept fault rate stays within ``MAX_FAULT_LOSS`` of its fault-free
+   cell: detected faults re-anchor (pay cold), they do not take the
+   fleet down.
+
+Results land in ``BENCH_chaos.json``.  The model/crop/seed default to
+the same values as ``serve_bench.py``/``fleet_bench.py`` so the three
+benchmarks share one cached service-time measurement in CI.
+
+Usage::
+
+    python benchmarks/chaos_bench.py [--model IRCNN] [--crop 48] [--full] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.chaos.campaign import chaos_grid, run_chaos_grid  # noqa: E402
+from repro.serve.chaos.schedule import ChaosSpec, generate_schedule, overload_requests  # noqa: E402
+from repro.serve.fleet import FleetConfig, simulate_fleet  # noqa: E402
+from repro.serve.latency import measure_service_times  # noqa: E402
+from repro.serve.service import ServeConfig  # noqa: E402
+from repro.serve.workload import WorkloadSpec, apply_scene_dynamics, generate_requests  # noqa: E402
+from repro.utils.rng import DEFAULT_SEED  # noqa: E402
+
+ENGINE = "Diffy"
+WORKERS = 2
+FRAMES_PER_SESSION = 8
+LOAD_FACTOR = 1.15  # x the fleet's cold capacity on the fastest engine
+
+#: Gate thresholds (lower bounds on retained goodput).  Measured locally
+#: the chaos cell actually *exceeds* the no-chaos baseline — a crash
+#: sheds queued requests that would have missed their deadline anyway,
+#: which is goodput-positive under a binding deadline — and the worst
+#: full-ladder fault tax is ~1%.  The bounds are set loose enough to
+#: absorb scheduling discreteness at other crops/seeds while still
+#: catching a protection ladder that melts under load.
+MAX_CHAOS_LOSS = 0.25
+MAX_FAULT_LOSS = 0.15
+
+
+def sweep(model: str, crop: int, seed: int, full: bool) -> dict:
+    ladders = ("none", "ecc", "checksum", "keyframe", "full") if full else ("none", "full")
+    rates = (0.0, 1e-3, 3e-3, 1e-2) if full else (0.0, 1e-3)
+    nodes = 4 if full else 2
+    times = measure_service_times(model, engines=("VAA", ENGINE), crop=crop, seed=seed)
+    unit = times["VAA"].cold_s
+    provision_s = min(t.cold_s for t in times.values())
+    spec = WorkloadSpec(
+        duration_s=40.0 * unit,
+        session_rate=LOAD_FACTOR * nodes * WORKERS / provision_s / FRAMES_PER_SESSION,
+        frames_per_session=FRAMES_PER_SESSION,
+        frame_interval_s=2.0 * unit,
+        seed=seed,
+    )
+    requests = apply_scene_dynamics(
+        generate_requests(spec), cut_probability=0.02, burst_probability=0.05, seed=seed
+    )
+    template = ChaosSpec(
+        fault_model="flip1",
+        crashes=1,
+        crash_downtime_s=4.0 * unit,
+        degrades=1,
+        degrade_len_s=6.0 * unit,
+        degrade_slowdown=2.0,
+        bursts=1,
+        burst_len_s=6.0 * unit,
+        burst_fault_mult=10.0,
+        burst_load_mult=1.5,
+        seed=seed,
+    )
+    schedule = generate_schedule(template, spec.duration_s, range(nodes))
+    extra = overload_requests(spec, schedule, first_session_id=10**6)
+    merged = sorted(
+        list(requests) + extra, key=lambda r: (r.arrival_s, r.session_id, r.frame_index)
+    )
+    node_config = ServeConfig(
+        workers=WORKERS,
+        max_batch=4,
+        max_wait_s=0.0,
+        queue_capacity=32,
+        deadline_s=2.5 * unit,
+        state_capacity_bytes=48 * times[ENGINE].state_bytes,
+    )
+    ttl = (2.0 * FRAMES_PER_SESSION + 8.0) * unit
+
+    baseline = simulate_fleet(
+        merged,
+        times[ENGINE],
+        FleetConfig(
+            nodes=nodes,
+            routing="state_aware",
+            node=node_config,
+            session_ttl_s=ttl,
+            seed=seed,
+        ),
+        spec.duration_s,
+    )
+    grid = run_chaos_grid(
+        merged,
+        times,
+        chaos_grid((ENGINE,), ladders, rates),
+        template,
+        node_config,
+        spec.duration_s,
+        nodes=nodes,
+        session_ttl_s=ttl,
+        seed=seed,
+    )
+    cells = [
+        {
+            "ladder": c.ladder,
+            "rate": c.rate,
+            "goodput_rps": c.goodput_rps,
+            "warm_fraction": c.warm_fraction,
+            "storage_detected": c.storage_detected,
+            "storage_silent": c.storage_silent,
+            "sessions_lost": c.sessions_lost,
+        }
+        for c in grid.cells
+    ]
+    return {
+        "model": model,
+        "crop": crop,
+        "seed": seed,
+        "nodes": nodes,
+        "ladders": list(ladders),
+        "rates": list(rates),
+        "offered_rps": grid.offered_rps,
+        "overload_requests": len(extra),
+        "vaa_cold_s": unit,
+        "baseline_goodput_rps": baseline.goodput_rps,
+        "max_chaos_loss": MAX_CHAOS_LOSS,
+        "max_fault_loss": MAX_FAULT_LOSS,
+        "cells": cells,
+    }
+
+
+def check(result: dict) -> "list[str]":
+    failures = []
+    cells = result["cells"]
+    full_cells = [c for c in cells if c["ladder"] == "full"]
+    for c in full_cells:
+        print(
+            f"full ladder rate {c['rate']:g}: goodput {c['goodput_rps']:.2f} rps, "
+            f"warm {100 * c['warm_fraction']:.0f}%, detected {c['storage_detected']}, "
+            f"silent {c['storage_silent']}",
+            file=sys.stderr,
+        )
+        if c["storage_silent"]:
+            failures.append(
+                f"full ladder served {c['storage_silent']} silent corruptions "
+                f"at rate {c['rate']:g}"
+            )
+    base = result["baseline_goodput_rps"]
+    fault_free = next(c for c in full_cells if c["rate"] == 0.0)
+    floor = (1.0 - result["max_chaos_loss"]) * base
+    print(
+        f"chaos tax: {base:.2f} rps fault-free -> {fault_free['goodput_rps']:.2f} rps "
+        f"under chaos (floor {floor:.2f})",
+        file=sys.stderr,
+    )
+    if fault_free["goodput_rps"] < floor:
+        failures.append(
+            f"chaos costs too much goodput: {fault_free['goodput_rps']:.3f} rps under "
+            f"chaos vs {base:.3f} rps fault-free (floor {floor:.3f})"
+        )
+    fault_floor = (1.0 - result["max_fault_loss"]) * fault_free["goodput_rps"]
+    for c in full_cells:
+        if c["goodput_rps"] < fault_floor:
+            failures.append(
+                f"full ladder goodput collapsed at rate {c['rate']:g}: "
+                f"{c['goodput_rps']:.3f} rps vs floor {fault_floor:.3f}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="IRCNN")
+    parser.add_argument("--crop", type=int, default=48)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--full", action="store_true", help="all five ladders, four rates, four nodes (nightly)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_chaos.json"),
+        help="where to write the result JSON",
+    )
+    parser.add_argument("--json", action="store_true", help="print the result JSON to stdout")
+    args = parser.parse_args(argv)
+
+    result = sweep(args.model, args.crop, args.seed, args.full)
+    Path(args.out).write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    failures = check(result)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    if failures:
+        print("FAIL:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"ok: wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,7 @@ _EXPERIMENT_MODULES: "tuple[tuple[str, str], ...]" = (
     ("ext_protection", "ext_protection"),
     ("ext_serving", "ext_serving"),
     ("ext_fleet", "ext_fleet"),
+    ("ext_chaos", "ext_chaos"),
 )
 
 

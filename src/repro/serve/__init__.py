@@ -7,7 +7,7 @@ accelerator would actually face.  See ``repro.experiments.ext_serving``
 for the headline VAA-vs-PRA-vs-Diffy comparison under identical load.
 """
 
-from repro.serve import fleet
+from repro.serve import chaos, fleet
 from repro.serve.clock import VirtualClock
 from repro.serve.latency import (
     DEFAULT_ENGINES,
@@ -23,9 +23,15 @@ from repro.serve.service import (
 )
 from repro.serve.state import TemporalStateStore
 from repro.serve.telemetry import ServeTelemetry
-from repro.serve.workload import Request, WorkloadSpec, generate_requests
+from repro.serve.workload import (
+    Request,
+    WorkloadSpec,
+    apply_scene_dynamics,
+    generate_requests,
+)
 
 __all__ = [
+    "chaos",
     "fleet",
     "VirtualClock",
     "DEFAULT_ENGINES",
@@ -41,5 +47,6 @@ __all__ = [
     "ServeTelemetry",
     "Request",
     "WorkloadSpec",
+    "apply_scene_dynamics",
     "generate_requests",
 ]

@@ -22,11 +22,21 @@ substream.  The split here exploits that:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.serve.chaos.schedule import (
+    ChaosSchedule,
+    ChaosSpec,
+    NodeChaos,
+    NodeCrash,
+    generate_schedule,
+)
+from repro.serve.chaos.storage import StorageChaos, price_ladder, serve_ladder
+from repro.serve.chaos.telemetry import ChaosTelemetry
 from repro.serve.fleet.autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
 from repro.serve.fleet.routing import ROUTING_POLICIES, make_router
 from repro.serve.fleet.shard import ShardResult, ShardStream, simulate_shard
@@ -66,10 +76,14 @@ class FleetConfig:
     #: front end can assume).
     est_service_s: Optional[float] = None
     autoscale: Optional[AutoscalePolicy] = None
+    #: Chaos scenario to execute during the run (None = fault-free).
+    chaos: Optional[ChaosSpec] = None
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
         check_positive("nodes", self.nodes)
+        if self.chaos is not None:
+            serve_ladder(self.chaos.protection)  # fail fast on unknown ladders
         if self.routing not in ROUTING_POLICIES:
             raise ValueError(f"routing must be one of {ROUTING_POLICIES}, got {self.routing!r}")
         if self.node.max_wait_s != 0.0:
@@ -94,6 +108,8 @@ class NodeReport:
     reanchors_gap: int
     reanchors_evicted: int
     state_evictions: int
+    reanchors_lost: int = 0
+    reanchors_cut: int = 0
 
 
 @dataclass(frozen=True)
@@ -119,6 +135,10 @@ class FleetReport:
     metrics: dict
     scale_events: "tuple[ScaleEvent, ...]"
     node_reports: "tuple[NodeReport, ...]"
+    reanchors_lost: int = 0
+    reanchors_cut: int = 0
+    #: Merged chaos telemetry snapshot (None on fault-free runs).
+    chaos: Optional[dict] = None
 
     __golden_properties__ = (
         "goodput_rps",
@@ -159,12 +179,65 @@ class RoutingOutcome:
     scale_events: "tuple[ScaleEvent, ...]"
     nodes_final: int
     peak_nodes: int
+    #: Crash windows the routing pass actually executed (a crash that
+    #: would have emptied the routable set is skipped, restart included).
+    crashes_applied: "tuple[NodeCrash, ...]" = ()
+
+
+class _TopologyEvents:
+    """Chaos crash/restart events applied in arrival order to the router.
+
+    A crash removes its node so the router fails sessions over; the
+    restart adds the node back empty.  A crash is skipped (never applied,
+    restart included) when the node is already gone or is the last
+    routable node — the fleet never routes into a void.  The shard pass
+    receives only the *applied* windows, so both passes see the same
+    topology.
+    """
+
+    def __init__(self, router, schedule: Optional[ChaosSchedule]):
+        self.router = router
+        crashes = schedule.crashes if schedule is not None else ()
+        self._events = sorted(
+            [(c.crash_s, 0, k, c) for k, c in enumerate(crashes)]
+            + [(c.restart_s, 1, k, c) for k, c in enumerate(crashes)]
+        )
+        self._applied: "dict[int, bool]" = {}
+        self._next = 0
+        self.crashes_applied: "list[NodeCrash]" = []
+
+    def apply_until(self, now: float) -> None:
+        while self._next < len(self._events) and self._events[self._next][0] <= now:
+            _, phase, key, crash = self._events[self._next]
+            self._next += 1
+            if phase == 0:
+                active = self.router.active_nodes
+                draining = set(self.router.draining_nodes)
+                routable = [n for n in active if n not in draining]
+                can_kill = crash.node_id in active and (
+                    crash.node_id in draining or len(routable) > 1
+                )
+                self._applied[key] = can_kill
+                if can_kill:
+                    self.router.remove_node(crash.node_id)
+                    self.crashes_applied.append(crash)
+            elif self._applied.get(key):
+                self.router.add_node(crash.node_id)
 
 
 def route_requests(
-    requests: Sequence[Request], times: ServiceTimes, config: FleetConfig
+    requests: Sequence[Request],
+    times: ServiceTimes,
+    config: FleetConfig,
+    schedule: Optional[ChaosSchedule] = None,
 ) -> RoutingOutcome:
-    """One deterministic routing pass over the time-sorted arrival stream."""
+    """One deterministic routing pass over the time-sorted arrival stream.
+
+    With a chaos ``schedule`` the pass also executes the crash/restart
+    timeline: before routing each request, every topology event at or
+    before its arrival is applied (chaos events fire before the
+    autoscaler's evaluation at tied timestamps).
+    """
     router = make_router(
         config.routing,
         range(config.nodes),
@@ -176,14 +249,16 @@ def route_requests(
     scaler = None
     if config.autoscale is not None:
         scaler = Autoscaler(config.autoscale, router, next_node_id=config.nodes)
-    columns: "dict[int, tuple[list, list, list, list]]" = {
-        n: ([], [], [], []) for n in range(config.nodes)
+    topology = _TopologyEvents(router, schedule)
+    columns: "dict[int, tuple[list, list, list, list, list, list]]" = {
+        n: ([], [], [], [], [], []) for n in range(config.nodes)
     }
     last_node: "dict[int, int]" = {}
     migrations = 0
     peak = len(router.active_nodes)
     with timing.timed("fleet.route"):
         for request in requests:
+            topology.apply_until(request.arrival_s)
             if scaler is not None:
                 scaler.observe(request.arrival_s)
                 peak = max(peak, len(router.active_nodes))
@@ -194,12 +269,17 @@ def route_requests(
                 migrations += 1
             last_node[request.session_id] = node
             if node not in columns:
-                columns[node] = ([], [], [], [])
-            arr, sid, fidx, mig = columns[node]
+                columns[node] = ([], [], [], [], [], [])
+            arr, sid, fidx, mig, cut, mot = columns[node]
             arr.append(request.arrival_s)
             sid.append(request.session_id)
             fidx.append(request.frame_index)
             mig.append(migrated)
+            cut.append(request.scene_cut)
+            mot.append(request.motion)
+        # Late events (after the last arrival) still settle the final
+        # topology — a node restarting during the drain must count as up.
+        topology.apply_until(math.inf)
     streams = tuple(
         ShardStream(
             node_id=node,
@@ -207,8 +287,10 @@ def route_requests(
             session_id=np.asarray(sid, dtype=np.int64),
             frame_index=np.asarray(fidx, dtype=np.int64),
             migrated=np.asarray(mig, dtype=bool),
+            scene_cut=np.asarray(cut, dtype=bool),
+            motion=np.asarray(mot, dtype=np.float64),
         )
-        for node, (arr, sid, fidx, mig) in sorted(columns.items())
+        for node, (arr, sid, fidx, mig, cut, mot) in sorted(columns.items())
     )
     return RoutingOutcome(
         streams=streams,
@@ -216,13 +298,16 @@ def route_requests(
         scale_events=tuple(scaler.events) if scaler is not None else (),
         nodes_final=len(router.active_nodes),
         peak_nodes=peak,
+        crashes_applied=tuple(topology.crashes_applied),
     )
 
 
-def _simulate_shard_task(arg: "tuple[ShardStream, ServiceTimes, ServeConfig]") -> ShardResult:
+def _simulate_shard_task(
+    arg: "tuple[ShardStream, ServiceTimes, ServeConfig, Optional[NodeChaos]]",
+) -> ShardResult:
     """Module-level shard task (pool workers pickle it by reference)."""
-    stream, times, node_config = arg
-    return simulate_shard(stream, times, node_config)
+    stream, times, node_config, chaos = arg
+    return simulate_shard(stream, times, node_config, chaos=chaos)
 
 
 def simulate_fleet(
@@ -243,8 +328,56 @@ def simulate_fleet(
     if duration_s is None:
         duration_s = max((r.arrival_s for r in requests), default=0.0) or 1.0
     check_positive("duration_s", duration_s)
-    routing = route_requests(requests, times, config)
-    tasks = [(stream, times, config.node) for stream in routing.streams]
+    schedule = None
+    storage = None
+    if config.chaos is not None:
+        spec = config.chaos
+        schedule = generate_schedule(spec, duration_s, range(config.nodes))
+        if spec.storage_rate > 0.0 or serve_ladder(spec.protection).protects:
+            base = price_ladder(
+                spec.protection,
+                spec.fault_model,
+                spec.storage_rate,
+                trials=spec.storage_trials,
+                seed=spec.seed,
+            )
+            burst = None
+            if schedule.bursts and spec.burst_fault_mult != 1.0 and spec.storage_rate > 0.0:
+                burst = price_ladder(
+                    spec.protection,
+                    spec.fault_model,
+                    spec.storage_rate * spec.burst_fault_mult,
+                    trials=spec.storage_trials,
+                    seed=spec.seed,
+                )
+            storage = StorageChaos(
+                seed=spec.effective_fault_seed,
+                base=base,
+                burst=burst,
+                bursts=schedule.bursts,
+            )
+    routing = route_requests(requests, times, config, schedule=schedule)
+
+    def node_chaos(node_id: int) -> Optional[NodeChaos]:
+        if schedule is None:
+            return None
+        down = tuple(
+            (c.crash_s, c.restart_s)
+            for c in routing.crashes_applied
+            if c.node_id == node_id
+        )
+        return NodeChaos(
+            node_id=node_id,
+            duration_s=float(duration_s),
+            storage=storage,
+            down=down,
+            degrade=schedule.degrade_windows(node_id),
+        )
+
+    tasks = [
+        (stream, times, config.node, node_chaos(stream.node_id))
+        for stream in routing.streams
+    ]
     with timing.timed("fleet.shards"):
         outcome = run_tasks(
             _simulate_shard_task, tasks, max_workers=max_workers, counter_prefix="fleet"
@@ -260,13 +393,21 @@ def simulate_fleet(
         max_batch=config.node.max_batch, queue_capacity=config.node.queue_capacity
     )
     node_reports = []
-    warm = cold = gap = evicted_re = 0
+    warm = cold = gap = evicted_re = lost_re = cut_re = 0
+    chaos_merged: Optional[ChaosTelemetry] = None
     for res in results:  # ascending node id — the merge order contract
         merged.merge(res.telemetry)
         warm += res.state.warm
         cold += res.state.cold
         gap += res.state.reanchors_gap
         evicted_re += res.state.reanchors_evicted
+        lost_re += res.state.reanchors_lost
+        cut_re += res.state.reanchors_cut
+        if res.chaos is not None:
+            if chaos_merged is None:
+                chaos_merged = res.chaos
+            else:
+                chaos_merged.merge(res.chaos)
         node_reports.append(
             NodeReport(
                 node_id=res.node_id,
@@ -279,6 +420,8 @@ def simulate_fleet(
                 reanchors_gap=res.state.reanchors_gap,
                 reanchors_evicted=res.state.reanchors_evicted,
                 state_evictions=res.state.evictions,
+                reanchors_lost=res.state.reanchors_lost,
+                reanchors_cut=res.state.reanchors_cut,
             )
         )
     workers_total = config.node.workers * routing.peak_nodes
@@ -299,4 +442,7 @@ def simulate_fleet(
         metrics=merged.snapshot(duration_s, workers_total),
         scale_events=routing.scale_events,
         node_reports=tuple(node_reports),
+        reanchors_lost=lost_re,
+        reanchors_cut=cut_re,
+        chaos=chaos_merged.snapshot() if chaos_merged is not None else None,
     )

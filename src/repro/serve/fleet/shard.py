@@ -30,9 +30,12 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from repro.serve.chaos.schedule import NodeChaos
+from repro.serve.chaos.telemetry import ChaosTelemetry
 from repro.serve.latency import ServiceTimes
 from repro.serve.service import ServeConfig
 from repro.serve.state import StateStats, TemporalStateStore
@@ -51,6 +54,9 @@ class ShardStream:
     compactly into pool workers.  ``migrated`` marks requests whose
     session previously lived on another node (router-observed; the
     node's state store independently confirms the cold re-anchor).
+    ``scene_cut``/``motion`` carry the per-frame video dynamics of
+    :func:`repro.serve.workload.apply_scene_dynamics`; omitting them
+    yields the static-pan defaults (no cuts, baseline motion).
     """
 
     node_id: int
@@ -58,10 +64,23 @@ class ShardStream:
     session_id: np.ndarray
     frame_index: np.ndarray
     migrated: np.ndarray
+    scene_cut: Optional[np.ndarray] = None
+    motion: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n = len(self.arrival_s)
-        if not (len(self.session_id) == len(self.frame_index) == len(self.migrated) == n):
+        if self.scene_cut is None:
+            object.__setattr__(self, "scene_cut", np.zeros(n, dtype=bool))
+        if self.motion is None:
+            object.__setattr__(self, "motion", np.ones(n, dtype=np.float64))
+        lengths = (
+            len(self.session_id),
+            len(self.frame_index),
+            len(self.migrated),
+            len(self.scene_cut),
+            len(self.motion),
+        )
+        if any(length != n for length in lengths):
             raise ValueError("ShardStream columns must have equal length")
         if n and bool(np.any(np.diff(self.arrival_s) < 0)):
             raise ValueError("ShardStream arrivals must be sorted by time")
@@ -80,6 +99,8 @@ class ShardStream:
             session_id=np.array([r.session_id for r in reqs], dtype=np.int64),
             frame_index=np.array([r.frame_index for r in reqs], dtype=np.int64),
             migrated=np.array(flags, dtype=bool),
+            scene_cut=np.array([r.scene_cut for r in reqs], dtype=bool),
+            motion=np.array([r.motion for r in reqs], dtype=np.float64),
         )
 
     def requests(self) -> "list[Request]":
@@ -88,6 +109,8 @@ class ShardStream:
                 session_id=int(self.session_id[i]),
                 frame_index=int(self.frame_index[i]),
                 arrival_s=float(self.arrival_s[i]),
+                scene_cut=bool(self.scene_cut[i]),
+                motion=float(self.motion[i]),
             )
             for i in range(len(self))
         ]
@@ -102,19 +125,52 @@ class ShardResult:
     state: StateStats
     routed: int
     migrated_in: int
+    chaos: Optional[ChaosTelemetry] = None
 
 
-def simulate_shard(stream: ShardStream, times: ServiceTimes, config: ServeConfig) -> ShardResult:
-    """Serve one node's substream to quiescence (greedy dispatch only)."""
+def simulate_shard(
+    stream: ShardStream,
+    times: ServiceTimes,
+    config: ServeConfig,
+    chaos: Optional[NodeChaos] = None,
+) -> ShardResult:
+    """Serve one node's substream to quiescence (greedy dispatch only).
+
+    With ``chaos`` the node additionally executes its slice of the chaos
+    timeline: crash windows shed the queue, kill in-flight batches and
+    wipe the temporal state store; degrade windows scale batch service
+    times; storage chaos resolves each warm state read to a seeded
+    clean/corrected/detected/silent outcome (detected invalidates the
+    session, forcing a priced re-anchor).  Without ``chaos`` every code
+    path and float is identical to before — the fault-free goldens do
+    not move.
+    """
     if config.max_wait_s != 0.0:
         raise ValueError("the vectorized shard engine requires max_wait_s=0 (greedy dispatch)")
     n = len(stream)
     arr = stream.arrival_s
     sid = stream.session_id
     fidx = stream.frame_index
+    cut = stream.scene_cut
+    motion = stream.motion
     deadline = arr + config.deadline_s
     telemetry = ServeTelemetry(max_batch=config.max_batch, queue_capacity=config.queue_capacity)
-    state = TemporalStateStore(config.state_capacity_bytes, times.state_bytes)
+    storage = chaos.storage if chaos is not None else None
+    state_bytes = times.state_bytes
+    if storage is not None:
+        # Protected state is bigger: the ladder's storage overhead
+        # inflates each session's resident footprint, so the same byte
+        # cap holds fewer warm sessions — protection's capacity cost,
+        # charged even at fault rate zero.
+        state_bytes = max(1, int(round(times.state_bytes * storage.overhead)))
+    state = TemporalStateStore(config.state_capacity_bytes, state_bytes)
+    ctel = (
+        ChaosTelemetry(duration_s=chaos.duration_s) if chaos is not None else None
+    )
+    #: session id -> invalidation time, awaiting its next warm serve.
+    recovering: "dict[int, float]" = {}
+    down = list(chaos.down) if chaos is not None else []
+    di = 0  # next crash window index
 
     idle = config.workers
     queue: "list[int]" = []  # admitted request indices, FIFO via head pointer
@@ -125,6 +181,19 @@ def simulate_shard(stream: ShardStream, times: ServiceTimes, config: ServeConfig
 
     def queued() -> int:
         return len(queue) - head
+
+    def crash(at_s: float) -> None:
+        """Lose the node: queue, in-flight work, and temporal state."""
+        nonlocal head, idle
+        shed = queued()
+        head = len(queue)
+        killed = sum(len(batch) for _, _, batch in busy)
+        busy.clear()
+        idle = config.workers
+        lost = state.invalidate_all()
+        for session in lost:
+            recovering.setdefault(session, at_s)
+        ctel.on_crash(shed, killed, len(lost))
 
     def dispatch(now: float) -> bool:
         """Shed expired, then dispatch one batch; False if queue drained."""
@@ -145,8 +214,31 @@ def simulate_shard(stream: ShardStream, times: ServiceTimes, config: ServeConfig
         # exactly, so busy_s stays bit-identical.
         service_s = times.batch_overhead_s
         for j in batch:
-            mode = state.serve(int(sid[j]), int(fidx[j]))
-            service_s += times.request_s(mode)
+            s, f = int(sid[j]), int(fidx[j])
+            is_cut = bool(cut[j])
+            if storage is not None and not is_cut and state.is_warm(s, f):
+                outcome = storage.outcome(s, f, now)
+                ctel.on_storage(outcome)
+                if outcome == "detected":
+                    # The ladder flagged the stored state: drop it and
+                    # re-anchor rather than serve corrupt output.
+                    state.invalidate(s)
+                    recovering.setdefault(s, now)
+            if ctel is not None:
+                before = state.stats.reanchors
+            mode = state.serve(s, f, scene_cut=is_cut)
+            service_s += times.request_s(mode, float(motion[j]))
+            if ctel is not None:
+                warm = mode == "temporal"
+                ctel.on_serve(now, warm, state.stats.reanchors > before)
+                if warm and recovering:
+                    t0 = recovering.pop(s, None)
+                    if t0 is not None:
+                        ctel.on_recovery(now - t0)
+        if chaos is not None:
+            slowdown = chaos.slowdown_at(now)
+            if slowdown != 1.0:
+                service_s *= slowdown
         idle -= 1
         telemetry.on_batch(take, service_s)
         heapq.heappush(busy, (now + service_s, seq, batch))
@@ -156,6 +248,13 @@ def simulate_shard(stream: ShardStream, times: ServiceTimes, config: ServeConfig
     while i < n or head < len(queue) or busy:
         t_free = busy[0][0] if busy else math.inf
         t_arr = arr[i] if i < n else math.inf
+        if di < len(down) and down[di][0] <= min(t_arr, t_free):
+            # The crash fires before any arrival/completion at or past
+            # its timestamp (ties break toward the crash): queued and
+            # in-flight work at the instant of the crash is lost.
+            crash(down[di][0])
+            di += 1
+            continue
         if t_arr <= t_free:
             if idle > 0:
                 # Idle regime: queue is empty (service invariant), so
@@ -193,10 +292,18 @@ def simulate_shard(stream: ShardStream, times: ServiceTimes, config: ServeConfig
                 if not dispatch(now):
                     break
 
+    # Crash windows past quiescence still wipe resident state, so the
+    # node's crash/lost-session accounting matches its schedule slice
+    # regardless of when its arrivals stop.
+    while di < len(down):
+        crash(down[di][0])
+        di += 1
+
     return ShardResult(
         node_id=stream.node_id,
         telemetry=telemetry,
         state=state.stats,
         routed=n,
         migrated_in=int(np.count_nonzero(stream.migrated)),
+        chaos=ctel,
     )

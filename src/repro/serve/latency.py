@@ -66,8 +66,19 @@ class ServiceTimes:
     state_bytes: int
     frequency_ghz: float
 
-    def request_s(self, mode: str) -> float:
+    def request_s(self, mode: str, motion: float = 1.0) -> float:
+        """Service time of one request.
+
+        ``motion`` scales the warm (temporal-delta) time for frames with
+        denser-than-baseline deltas, capped at the cold time — the DR
+        multiplexer never streams a temporal delta costlier than the
+        spatial stream.  ``motion=1.0`` reproduces the plain warm time
+        exactly (same float, no arithmetic), so motion-free workloads
+        are bit-identical to before.
+        """
         if mode == "temporal":
+            if motion != 1.0:
+                return min(self.cold_s, self.warm_s * motion)
             return self.warm_s
         if mode == "spatial":
             return self.cold_s

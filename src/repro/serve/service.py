@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.serve.chaos.storage import StorageChaos
+from repro.serve.chaos.telemetry import ChaosTelemetry
 from repro.serve.clock import VirtualClock
 from repro.serve.latency import ServiceTimes
 from repro.serve.scheduler import (
@@ -106,20 +108,41 @@ class ServingReport:
 
 
 class InferenceService:
-    """One engine's simulated service instance."""
+    """One engine's simulated service instance.
 
-    def __init__(self, times: ServiceTimes, config: ServeConfig):
+    ``storage`` attaches storage-fault chaos
+    (:class:`repro.serve.chaos.storage.StorageChaos`): each warm state
+    read resolves to a seeded clean/corrected/detected/silent outcome,
+    detected reads invalidate the session (the next frame re-anchors
+    cold), and the ladder's storage overhead inflates each session's
+    resident footprint.  Chaos counters land in :attr:`chaos`
+    (a :class:`~repro.serve.chaos.telemetry.ChaosTelemetry`, created by
+    :meth:`run`); the fault-free telemetry and report are untouched.
+    """
+
+    def __init__(
+        self,
+        times: ServiceTimes,
+        config: ServeConfig,
+        storage: Optional[StorageChaos] = None,
+    ):
         self.times = times
         self.config = config
         self.policy = BatchPolicy(config.max_batch, config.max_wait_s)
         self.queue = BoundedQueue(config.queue_capacity)
-        self.state = TemporalStateStore(config.state_capacity_bytes, times.state_bytes)
+        state_bytes = times.state_bytes
+        if storage is not None:
+            state_bytes = max(1, int(round(times.state_bytes * storage.overhead)))
+        self.state = TemporalStateStore(config.state_capacity_bytes, state_bytes)
         self.telemetry = ServeTelemetry(
             max_batch=config.max_batch, queue_capacity=config.queue_capacity
         )
         self.clock = VirtualClock()
         self.idle_workers = config.workers
         self._wait_timer = None
+        self._storage = storage
+        self.chaos: Optional[ChaosTelemetry] = None
+        self._recovering: "dict[int, float]" = {}
 
     # ---- event handlers --------------------------------------------------
 
@@ -160,8 +183,34 @@ class InferenceService:
             batch = self.queue.take(self.policy.max_batch)
             service_s = self.times.batch_overhead_s
             for item in batch:
-                mode = self.state.serve(item.request.session_id, item.request.frame_index)
-                service_s += self.times.request_s(mode)
+                request = item.request
+                sid, fidx = request.session_id, request.frame_index
+                if (
+                    self.chaos is not None
+                    and self._storage is not None
+                    and not request.scene_cut
+                    and self.state.is_warm(sid, fidx)
+                ):
+                    outcome = self._storage.outcome(sid, fidx, now)
+                    self.chaos.on_storage(outcome)
+                    if outcome == "detected":
+                        # The ladder flagged the stored state: drop it
+                        # and re-anchor instead of serving corrupt output.
+                        self.state.invalidate(sid)
+                        self._recovering.setdefault(sid, now)
+                if self.chaos is not None:
+                    reanchors_before = self.state.stats.reanchors
+                mode = self.state.serve(sid, fidx, scene_cut=request.scene_cut)
+                service_s += self.times.request_s(mode, request.motion)
+                if self.chaos is not None:
+                    warm = mode == "temporal"
+                    self.chaos.on_serve(
+                        now, warm, self.state.stats.reanchors > reanchors_before
+                    )
+                    if warm and self._recovering:
+                        invalidated_at = self._recovering.pop(sid, None)
+                        if invalidated_at is not None:
+                            self.chaos.on_recovery(now - invalidated_at)
             self.idle_workers -= 1
             self.telemetry.on_batch(len(batch), service_s)
             self.clock.schedule(service_s, self._on_completion, batch)
@@ -189,6 +238,8 @@ class InferenceService:
         shed, so tail requests are fully accounted.
         """
         check_positive("duration_s", duration_s)
+        if self._storage is not None and self.chaos is None:
+            self.chaos = ChaosTelemetry(duration_s=float(duration_s))
         for request in requests:
             self.clock.schedule_at(request.arrival_s, self._on_arrival, request)
         self.clock.run()
@@ -216,8 +267,14 @@ def serve_workload(
     times: ServiceTimes,
     config: ServeConfig,
     duration_s: Optional[float] = None,
+    storage: Optional[StorageChaos] = None,
 ) -> ServingReport:
-    """Convenience wrapper: one service instance, one workload, one report."""
+    """Convenience wrapper: one service instance, one workload, one report.
+
+    Pass ``storage`` to run under storage-fault chaos; callers that need
+    the chaos counters should drive :class:`InferenceService` directly
+    and read its ``chaos`` telemetry.
+    """
     if duration_s is None:
         duration_s = max((r.arrival_s for r in requests), default=0.0) or 1.0
-    return InferenceService(times, config).run(requests, duration_s)
+    return InferenceService(times, config, storage=storage).run(requests, duration_s)

@@ -35,10 +35,22 @@ class StateStats:
     #: session is being re-admitted.  Both pay a cold frame that a larger
     #: store would not have charged — the honest migration/eviction cost.
     reanchors_evicted: int = 0
+    #: Cold serves forced because the session's resident state was
+    #: invalidated (detected storage corruption, node crash) — the
+    #: protection ladder's re-anchor cost, paid instead of serving wrong.
+    reanchors_lost: int = 0
+    #: Cold serves forced by a scene cut: the temporal delta is useless
+    #: across a cut, so the service re-anchors even with state resident.
+    reanchors_cut: int = 0
 
     @property
     def reanchors(self) -> int:
-        return self.reanchors_gap + self.reanchors_evicted
+        return (
+            self.reanchors_gap
+            + self.reanchors_evicted
+            + self.reanchors_lost
+            + self.reanchors_cut
+        )
 
     @property
     def warm_fraction(self) -> float:
@@ -69,6 +81,9 @@ class TemporalStateStore:
         #: session is re-admitted or explicitly dropped); distinguishes an
         #: eviction re-anchor from a brand-new session's first cold frame.
         self._displaced: "set[int]" = set()
+        #: Sessions whose state was invalidated (detected corruption or a
+        #: node crash); their next serve is a ``reanchors_lost`` cold frame.
+        self._invalidated: "set[int]" = set()
         self.stats = StateStats()
 
     @property
@@ -88,21 +103,31 @@ class TemporalStateStore:
         last = self._resident.get(session_id)
         return last is not None and last == frame_index - 1
 
-    def serve(self, session_id: int, frame_index: int) -> str:
+    def serve(self, session_id: int, frame_index: int, scene_cut: bool = False) -> str:
         """Record one frame being served; returns ``"temporal"`` or ``"spatial"``.
 
         Temporal mode requires the *immediately preceding* frame's state:
         a gap (shed frame, evicted session) falls back to spatial and the
         served frame re-anchors the session — the next contiguous frame
-        is warm again.
+        is warm again.  ``scene_cut`` forces a spatial re-anchor even with
+        contiguous state resident: across a cut the temporal delta is as
+        dense as the frame itself, so the warm path buys nothing.
         """
-        warm = self.is_warm(session_id, frame_index)
+        contiguous = self.is_warm(session_id, frame_index)
+        warm = contiguous and not scene_cut
         if warm:
             self.stats.warm += 1
         else:
             self.stats.cold += 1
-            if session_id in self._resident:
+            if scene_cut and contiguous:
+                self.stats.reanchors_cut += 1
+            elif session_id in self._resident:
                 self.stats.reanchors_gap += 1
+            elif session_id in self._invalidated:
+                # Re-admission after corruption/crash invalidation: the
+                # cold frame is the protection ladder's recovery cost.
+                self.stats.reanchors_lost += 1
+                self._invalidated.discard(session_id)
             elif session_id in self._displaced:
                 # Re-admission after a byte-cap eviction: this cold frame
                 # is the eviction's deferred cost, not a fresh session.
@@ -125,7 +150,34 @@ class TemporalStateStore:
         self._resident[session_id] = frame_index
         self.stats.insertions += 1
 
+    def invalidate(self, session_id: int) -> bool:
+        """Discard one session's state as *untrustworthy* (detected fault).
+
+        Unlike an eviction this is not a capacity decision: the ladder
+        flagged the stored state, so serving from it would be wrong.  The
+        session's next frame re-anchors cold as ``reanchors_lost``.
+        """
+        if self._resident.pop(session_id, None) is None:
+            return False
+        self._displaced.discard(session_id)
+        self._invalidated.add(session_id)
+        return True
+
+    def invalidate_all(self) -> "tuple[int, ...]":
+        """Invalidate every resident session (node crash lost the store).
+
+        Returns the invalidated session ids in LRU order so the caller
+        can track per-session recovery times.
+        """
+        lost = tuple(self._resident)
+        for session_id in lost:
+            self._displaced.discard(session_id)
+            self._invalidated.add(session_id)
+        self._resident.clear()
+        return lost
+
     def drop(self, session_id: int) -> bool:
         """Explicitly release one session's state (session end)."""
         self._displaced.discard(session_id)
+        self._invalidated.discard(session_id)
         return self._resident.pop(session_id, None) is not None

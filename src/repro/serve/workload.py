@@ -25,11 +25,22 @@ from repro.utils.validation import check_positive
 
 @dataclass(frozen=True)
 class Request:
-    """One frame of one client session, offered to the service."""
+    """One frame of one client session, offered to the service.
+
+    ``scene_cut`` and ``motion`` carry per-frame video dynamics (see
+    :func:`apply_scene_dynamics`); the defaults describe a static-pan
+    clip, so workloads that never apply dynamics are unchanged.
+    """
 
     session_id: int
     frame_index: int
     arrival_s: float
+    #: Frame starts a new scene: the temporal delta is dense, so a warm
+    #: serve re-anchors (pays cold) even with contiguous state resident.
+    scene_cut: bool = False
+    #: Relative temporal-delta density vs the calm-clip baseline (1.0);
+    #: a motion burst scales the warm service time toward cold.
+    motion: float = 1.0
 
     @property
     def is_session_head(self) -> bool:
@@ -116,6 +127,67 @@ def generate_requests(spec: WorkloadSpec) -> list[Request]:
 def offered_rps(requests: list[Request], spec: WorkloadSpec) -> float:
     """Offered request rate over the generation window."""
     return len(requests) / spec.duration_s
+
+
+def apply_scene_dynamics(
+    requests: "list[Request]",
+    cut_probability: float = 0.0,
+    burst_probability: float = 0.0,
+    burst_frames: int = 3,
+    burst_motion: float = 2.0,
+    seed: int = DEFAULT_SEED,
+) -> "list[Request]":
+    """Overlay seeded scene cuts and motion bursts on a generated workload.
+
+    Real video sessions are not uniform pans: scenes cut (the temporal
+    delta becomes dense and the serve must re-anchor) and motion bursts
+    inflate delta density for a few frames.  Both are drawn per session
+    from an :func:`rng_for` stream keyed by the session id alone, so the
+    overlay is a pure function of ``(requests, parameters, seed)`` —
+    independent of list order, worker count, or which node serves the
+    session:
+
+    - each non-head frame starts a new scene with ``cut_probability``;
+    - each frame starts a motion burst with ``burst_probability``; a
+      burst holds ``motion=burst_motion`` for ``burst_frames`` frames
+      (bursts overlap by extension, they do not stack).
+
+    Returns a new request list in the same order.  With both
+    probabilities at 0 the input requests are returned unchanged, so
+    existing workload-dependent goldens are untouched.
+    """
+    for name, p in (("cut_probability", cut_probability), ("burst_probability", burst_probability)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    check_positive("burst_frames", burst_frames)
+    if burst_motion < 1.0:
+        raise ValueError(f"burst_motion must be >= 1, got {burst_motion}")
+    if cut_probability == 0.0 and burst_probability == 0.0:
+        return list(requests)
+    frames_by_session: "dict[int, set[int]]" = {}
+    for r in requests:
+        frames_by_session.setdefault(r.session_id, set()).add(r.frame_index)
+    dynamics: "dict[tuple[int, int], tuple[bool, float]]" = {}
+    for sid in sorted(frames_by_session):
+        rng = rng_for(seed, "scene-dynamics", sid)
+        burst_until = -1  # last frame index still inside a burst
+        for f in sorted(frames_by_session[sid]):
+            cut = rng.random() < cut_probability and f > 0
+            if rng.random() < burst_probability:
+                burst_until = max(burst_until, f + burst_frames - 1)
+            motion = burst_motion if f <= burst_until else 1.0
+            dynamics[(sid, f)] = (cut, motion)
+    return [
+        Request(
+            session_id=r.session_id,
+            frame_index=r.frame_index,
+            arrival_s=r.arrival_s,
+            scene_cut=cut,
+            motion=motion,
+        )
+        for r in requests
+        for cut, motion in (dynamics[(r.session_id, r.frame_index)],)
+    ]
 
 
 def diurnal_rate(t: float, session_rate: float, amplitude: float, period_s: float) -> float:
