@@ -40,6 +40,7 @@ from repro.core.booth import DEFAULT_ENCODING, WORD_BITS, booth_terms
 from repro.core.deltas import spatial_deltas
 from repro.core.precision import GroupPrecisionEncoding, group_precisions
 from repro.nn.trace import ConvLayerTrace
+from repro.utils.bits import quantize_to_width
 
 __all__ = [
     "LoweredLayer",
@@ -124,8 +125,7 @@ def delta_term_map(
 
     def compute() -> np.ndarray:
         deltas = spatial_deltas(padded_imap(layer), axis=axis, stride=layer.stride)
-        lo, hi = -(1 << (WORD_BITS - 1)), (1 << (WORD_BITS - 1)) - 1
-        return booth_terms(np.clip(deltas, lo, hi), encoding)
+        return booth_terms(quantize_to_width(deltas, WORD_BITS)[0], encoding)
 
     return _memoized(layer, ("delta", axis, encoding), compute)
 

@@ -1,0 +1,51 @@
+"""Self-healing precision calibration: the serve loop's control plane.
+
+Diffy's per-layer/per-group precisions (Table III, after Judd et al.)
+are profiled *offline*; a production service silently loses accuracy
+(overflow clipping) or compression (stale over-wide precisions) the
+moment input statistics drift.  This package closes the loop:
+
+- :mod:`repro.calib.stats` — compressed per-layer magnitude statistics
+  (profiled once per scene distribution, disk-cached) that answer width
+  questions under a drift gain in O(log n);
+- :mod:`repro.calib.shadow` — shadow counters in the serve path:
+  overflow is watched on every frame, full slack/required-width
+  profiling runs on a deterministic sampled fraction, and sampled
+  frames feed a bounded reservoir of recent input statistics;
+- :mod:`repro.calib.drift` — an EWMA drift detector with hysteresis
+  thresholds that trips per layer;
+- :mod:`repro.calib.recalibrate` — the versioned
+  :class:`~repro.calib.recalibrate.CalibrationTable`, the
+  dummy-then-measured recalibrator (after TVM's ``_calibrater.py``),
+  and the :class:`~repro.calib.recalibrate.CalibrationController` that
+  degrades gracefully (overflow ⇒ immediate safe widening; narrow only
+  after a measured pass confirms) and swaps tables atomically into the
+  running service — pricing the downtime as cold re-anchors.
+"""
+
+from repro.calib.drift import DriftConfig, DriftDetector
+from repro.calib.recalibrate import (
+    CalibrationController,
+    CalibrationTable,
+    CalibSpec,
+    FrameOutcome,
+    Recalibrator,
+)
+from repro.calib.shadow import FrameSample, Reservoir, ShadowCounters
+from repro.calib.stats import CalibStats, LayerStats, collect_calib_stats
+
+__all__ = [
+    "CalibStats",
+    "LayerStats",
+    "collect_calib_stats",
+    "FrameSample",
+    "Reservoir",
+    "ShadowCounters",
+    "DriftConfig",
+    "DriftDetector",
+    "CalibrationController",
+    "CalibrationTable",
+    "CalibSpec",
+    "FrameOutcome",
+    "Recalibrator",
+]

@@ -21,8 +21,22 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.nn.trace import ActivationTrace
-from repro.utils.bits import bits_for_magnitude, bits_for_signed
+from repro.utils.bits import bits_for_magnitude, bits_for_signed, quantize_to_width
 from repro.utils.validation import check_positive
+
+__all__ = [
+    "HEADER_BITS",
+    "MAX_PRECISION",
+    "profiled_precision",
+    "profiled_precision_tolerant",
+    "profiled_precision_drifted",
+    "profile_network_precisions",
+    "GroupPrecisionEncoding",
+    "group_precisions",
+    "group_precisions_drifted",
+    "drift_values",
+    "quantize_to_width",
+]
 
 #: Width of the per-group precision header (can encode widths 1..16).
 HEADER_BITS = 4
@@ -184,3 +198,54 @@ def group_precisions(
     # header cannot encode width 0.
     precisions = np.minimum(bits.max(axis=1), MAX_PRECISION)
     return GroupPrecisionEncoding(group_size, precisions, flat.size, signed)
+
+
+# ---- drift-aware variants (the calibration control loop's model) --------
+#
+# Input drift is modeled as a multiplicative gain on activation
+# magnitudes: for post-ReLU networks, scaling the input brightness /
+# contrast by ``g`` scales every layer's activations by ``g`` (ReLU is
+# positively homogeneous, ReLU(g*x) = g*ReLU(x) for g > 0), so a single
+# gain parameter propagates a brightness ramp through the whole network
+# without re-tracing.  ``repro.calib`` builds its shadow statistics on
+# exactly this model; the functions here are the reference definitions
+# the calibration tables are checked against.
+
+
+def drift_values(values: np.ndarray, gain: float) -> np.ndarray:
+    """Integer activations after a magnitude gain (round half away).
+
+    ``gain=1.0`` returns the input values unchanged (same array, no
+    arithmetic), so drift-free paths stay bit-identical.
+    """
+    if gain <= 0.0:
+        raise ValueError(f"gain must be > 0, got {gain}")
+    arr = np.asarray(values, dtype=np.int64)
+    if gain == 1.0:
+        return arr
+    mags = np.floor(np.abs(arr).astype(np.float64) * gain + 0.5).astype(np.int64)
+    return np.sign(arr) * mags
+
+
+def profiled_precision_drifted(
+    arrays: Iterable[np.ndarray], gain: float, signed: bool = False
+) -> int:
+    """Profiled per-layer precision of the gain-drifted values.
+
+    The width a *fresh* profiling pass would pick if the input statistics
+    had drifted by ``gain`` — what the online recalibrator must converge
+    to.  ``gain=1.0`` reduces exactly to :func:`profiled_precision`.
+    """
+    return profiled_precision((drift_values(a, gain) for a in arrays), signed=signed)
+
+
+def group_precisions_drifted(
+    values: np.ndarray, gain: float, group_size: int = 16, signed: bool = False
+) -> GroupPrecisionEncoding:
+    """Dynamic per-group precisions of the gain-drifted values.
+
+    ``gain=1.0`` reduces exactly to :func:`group_precisions`; larger
+    gains widen exactly the groups whose maxima cross a power of two —
+    the overflow signal the shadow counters watch for.
+    """
+    return group_precisions(drift_values(values, gain), group_size, signed=signed)

@@ -27,8 +27,7 @@ import numpy as np
 from repro.core.booth import WORD_BITS, booth_terms
 from repro.core.deltas import spatial_deltas
 from repro.nn.trace import ActivationTrace
-
-_CLIP_LO, _CLIP_HI = -(1 << (WORD_BITS - 1)), (1 << (WORD_BITS - 1)) - 1
+from repro.utils.bits import quantize_to_width
 
 
 def temporal_deltas(current: np.ndarray, previous: np.ndarray) -> np.ndarray:
@@ -36,7 +35,8 @@ def temporal_deltas(current: np.ndarray, previous: np.ndarray) -> np.ndarray:
 
     Both maps must share shape and fixed-point scale (true for traces of
     the same quantized network).  The result saturates to the 16-bit
-    storage word like the spatial-delta datapath does.
+    storage word like the spatial-delta datapath does, through the
+    audited narrowing point so any clip is counted.
     """
     cur = np.asarray(current, dtype=np.int64)
     prev = np.asarray(previous, dtype=np.int64)
@@ -44,7 +44,7 @@ def temporal_deltas(current: np.ndarray, previous: np.ndarray) -> np.ndarray:
         raise ValueError(
             f"frame maps must share a shape, got {cur.shape} vs {prev.shape}"
         )
-    return np.clip(cur - prev, _CLIP_LO, _CLIP_HI)
+    return quantize_to_width(cur - prev, WORD_BITS)[0]
 
 
 @dataclass(frozen=True)
@@ -103,7 +103,7 @@ class FrameSequenceTrace:
         out = []
         for layer_cur, layer_prev in zip(cur, prev):
             imap = layer_cur.imap
-            spatial = np.clip(spatial_deltas(imap, axis=axis), _CLIP_LO, _CLIP_HI)
+            spatial = quantize_to_width(spatial_deltas(imap, axis=axis), WORD_BITS)[0]
             temporal = temporal_deltas(imap, layer_prev.imap)
             out.append(
                 LayerModeStats(

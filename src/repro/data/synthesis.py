@@ -17,11 +17,13 @@ description of "nature, city and texture scenes".
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 import numpy as np
 from scipy import ndimage
 
+from repro.utils.rng import DEFAULT_SEED, rng_for
 from repro.utils.validation import check_positive
 
 
@@ -166,3 +168,140 @@ def synthesize_image(
         image = image + rng.normal(0.0, profile.noise_sigma, image.shape)
 
     return np.clip(image, 0.0, 1.0)
+
+
+# ---- input drift schedules (the calibration loop's disturbance) ---------
+
+
+@dataclass(frozen=True)
+class DriftPhase:
+    """One segment of a drift timeline.
+
+    The phase starts at ``start_s`` with gain ``gain0``, ramps linearly
+    to ``gain1`` over ``ramp_s`` seconds (a brightness/contrast ramp),
+    then holds ``gain1`` until the next phase.  ``profile`` names the
+    scene statistics in force (a distribution shift switches it).
+    """
+
+    start_s: float
+    gain0: float
+    gain1: float
+    ramp_s: float
+    profile: str
+
+    def gain_at(self, t: float) -> float:
+        if self.ramp_s <= 0.0 or t >= self.start_s + self.ramp_s:
+            return self.gain1
+        if t <= self.start_s:
+            return self.gain0
+        frac = (t - self.start_s) / self.ramp_s
+        return self.gain0 + (self.gain1 - self.gain0) * frac
+
+
+@dataclass(frozen=True)
+class DriftSchedule:
+    """A deterministic input-drift timeline for one serving run.
+
+    Two disturbance axes, matching what the calibration control loop
+    (:mod:`repro.calib`) must survive:
+
+    - **gain drift** — a multiplicative activation-magnitude gain
+      (brightness/contrast), piecewise-linear in time;
+    - **distribution shift** — the scene profile
+      (:data:`repro.data.synthesis.PROFILES`) in force at each time.
+
+    Both are pure functions of time, so any worker serving any request
+    substream observes the identical drift — the schedule never needs to
+    travel with the requests.
+    """
+
+    duration_s: float
+    phases: "tuple[DriftPhase, ...]"
+
+    def __post_init__(self) -> None:
+        check_positive("duration_s", self.duration_s)
+        if not self.phases:
+            raise ValueError("a drift schedule needs at least one phase")
+        starts = [p.start_s for p in self.phases]
+        if starts[0] != 0.0:
+            raise ValueError("the first drift phase must start at t=0")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError("drift phases must have strictly increasing starts")
+        object.__setattr__(self, "_starts", starts)
+
+    def _phase(self, t: float) -> DriftPhase:
+        return self.phases[max(0, bisect.bisect_right(self._starts, t) - 1)]
+
+    def gain(self, t: float) -> float:
+        """Activation-magnitude gain in force at time ``t``."""
+        return self._phase(t).gain_at(t)
+
+    def profile(self, t: float) -> str:
+        """Scene-profile name in force at time ``t``."""
+        return self._phase(t).profile
+
+    @property
+    def is_static(self) -> bool:
+        """True when the schedule never leaves gain 1.0 / the base profile."""
+        base = self.phases[0].profile
+        return all(
+            p.gain0 == 1.0 and p.gain1 == 1.0 and p.profile == base for p in self.phases
+        )
+
+
+def generate_drift_schedule(
+    duration_s: float,
+    magnitude: float,
+    events: int = 2,
+    base_profile: str = "nature",
+    shift_profiles: "tuple[str, ...]" = ("city", "noisy"),
+    profile_shift_probability: float = 0.5,
+    ramp_fraction: float = 0.25,
+    seed: int = DEFAULT_SEED,
+) -> DriftSchedule:
+    """Seeded drift timeline: gain ramps plus scene-distribution shifts.
+
+    ``events`` drift events are spread over jittered, evenly-sized slots
+    of the window.  Each event ramps the gain to a fresh target whose
+    log-magnitude is drawn uniformly in the *upper half* of
+    ``[0, log(magnitude)]`` with a random sign — every event is a real
+    excursion (brightness up or down), never a near-identity wiggle —
+    over ``ramp_fraction`` of its slot, and with
+    ``profile_shift_probability`` also switches the scene profile.
+    ``magnitude=1.0`` yields the identity schedule (gain
+    pinned at 1.0, base profile throughout) — the no-drift control every
+    false-positive property is checked against.  Pure function of its
+    arguments.
+    """
+    check_positive("duration_s", duration_s)
+    if magnitude < 1.0:
+        raise ValueError(f"magnitude must be >= 1 (1 = no drift), got {magnitude}")
+    check_positive("events", events)
+    if not 0.0 <= profile_shift_probability <= 1.0:
+        raise ValueError(
+            f"profile_shift_probability must be in [0, 1], got {profile_shift_probability}"
+        )
+    if not 0.0 < ramp_fraction <= 1.0:
+        raise ValueError(f"ramp_fraction must be in (0, 1], got {ramp_fraction}")
+    for name in (base_profile, *shift_profiles):
+        if name not in PROFILES:
+            raise ValueError(f"unknown profile {name!r}; available: {sorted(PROFILES)}")
+    phases = [DriftPhase(0.0, 1.0, 1.0, 0.0, base_profile)]
+    if magnitude == 1.0:
+        return DriftSchedule(duration_s, tuple(phases))
+    rng = rng_for(seed, "drift-schedule", magnitude, events)
+    slot = duration_s / (events + 1)
+    gain = 1.0
+    profile = base_profile
+    log_mag = float(np.log(magnitude))
+    for k in range(events):
+        # Event k lands in the middle half of its slot, jittered.
+        start = slot * (k + 1) + slot * float(rng.uniform(-0.25, 0.25))
+        excursion = float(rng.uniform(0.5 * log_mag, log_mag))
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        target = float(np.exp(sign * excursion))
+        if rng.random() < profile_shift_probability and shift_profiles:
+            profile = str(shift_profiles[int(rng.integers(len(shift_profiles)))])
+        phases.append(DriftPhase(start, gain, target, ramp_fraction * slot, profile))
+        gain = target
+    return DriftSchedule(duration_s, tuple(phases))

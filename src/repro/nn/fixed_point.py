@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.bits import signed_range
+from repro.utils.bits import quantize_to_width, signed_range
 
 #: Activation / weight word width used by all three accelerators (bits).
 ACT_BITS = 16
@@ -40,11 +40,11 @@ def round_half_away(values: np.ndarray) -> np.ndarray:
 def quantize(values: np.ndarray, scale: int, bits: int = ACT_BITS) -> np.ndarray:
     """Quantize a float array to ``bits``-bit fixed point with ``scale``.
 
-    Values outside the representable range saturate, as hardware would.
+    Values outside the representable range saturate, as hardware would —
+    through the audited narrowing point, so clips are counted.
     """
     ints = round_half_away(np.asarray(values, dtype=np.float64) * (1 << scale))
-    lo, hi = signed_range(bits)
-    return np.clip(ints, lo, hi)
+    return quantize_to_width(ints, bits)[0]
 
 
 def dequantize(values: np.ndarray, scale: int) -> np.ndarray:
@@ -69,8 +69,7 @@ def requantize_shift(values: np.ndarray, shift: int, bits: int = ACT_BITS) -> np
         # Round-half-away-from-zero on magnitudes keeps the rounder
         # symmetric for positive and negative accumulator values.
         shifted = np.sign(arr) * ((np.abs(arr) + half) >> shift)
-    lo, hi = signed_range(bits)
-    return np.clip(shifted, lo, hi)
+    return quantize_to_width(shifted, bits)[0]
 
 
 @dataclass(frozen=True)

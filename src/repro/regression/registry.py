@@ -42,6 +42,7 @@ _EXPERIMENT_MODULES: "tuple[tuple[str, str], ...]" = (
     ("ext_serving", "ext_serving"),
     ("ext_fleet", "ext_fleet"),
     ("ext_chaos", "ext_chaos"),
+    ("ext_drift", "ext_drift"),
 )
 
 

@@ -22,12 +22,13 @@ from repro.serve.service import (
     serve_workload,
 )
 from repro.serve.state import TemporalStateStore
-from repro.serve.telemetry import ServeTelemetry
+from repro.serve.telemetry import CalibTelemetry, ServeTelemetry
 from repro.serve.workload import (
     Request,
     WorkloadSpec,
     apply_scene_dynamics,
     generate_requests,
+    generate_vfr_requests,
 )
 
 __all__ = [
@@ -44,9 +45,11 @@ __all__ = [
     "ServingReport",
     "serve_workload",
     "TemporalStateStore",
+    "CalibTelemetry",
     "ServeTelemetry",
     "Request",
     "WorkloadSpec",
     "apply_scene_dynamics",
     "generate_requests",
+    "generate_vfr_requests",
 ]

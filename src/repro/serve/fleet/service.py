@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -42,8 +42,12 @@ from repro.serve.fleet.routing import ROUTING_POLICIES, make_router
 from repro.serve.fleet.shard import ShardResult, ShardStream, simulate_shard
 from repro.serve.latency import ServiceTimes
 from repro.serve.service import ServeConfig
-from repro.serve.telemetry import ServeTelemetry
+from repro.serve.telemetry import CalibTelemetry, ServeTelemetry
 from repro.serve.workload import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; the calib spec is
+    # duck-typed (shards call .build()), so serve never imports calib.
+    from repro.calib.recalibrate import CalibSpec
 from repro.utils import timing
 from repro.utils.pool import run_tasks
 from repro.utils.rng import DEFAULT_SEED
@@ -78,6 +82,9 @@ class FleetConfig:
     autoscale: Optional[AutoscalePolicy] = None
     #: Chaos scenario to execute during the run (None = fault-free).
     chaos: Optional[ChaosSpec] = None
+    #: Precision-calibration recipe; each node builds its own controller
+    #: from it (None = uncalibrated, bit-identical to before).
+    calib: "Optional[CalibSpec]" = None
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -110,6 +117,7 @@ class NodeReport:
     state_evictions: int
     reanchors_lost: int = 0
     reanchors_cut: int = 0
+    reanchors_recal: int = 0
 
 
 @dataclass(frozen=True)
@@ -137,8 +145,11 @@ class FleetReport:
     node_reports: "tuple[NodeReport, ...]"
     reanchors_lost: int = 0
     reanchors_cut: int = 0
+    reanchors_recal: int = 0
     #: Merged chaos telemetry snapshot (None on fault-free runs).
     chaos: Optional[dict] = None
+    #: Merged calibration telemetry snapshot (None when uncalibrated).
+    calib: Optional[dict] = None
 
     __golden_properties__ = (
         "goodput_rps",
@@ -303,11 +314,11 @@ def route_requests(
 
 
 def _simulate_shard_task(
-    arg: "tuple[ShardStream, ServiceTimes, ServeConfig, Optional[NodeChaos]]",
+    arg: "tuple[ShardStream, ServiceTimes, ServeConfig, Optional[NodeChaos], object]",
 ) -> ShardResult:
     """Module-level shard task (pool workers pickle it by reference)."""
-    stream, times, node_config, chaos = arg
-    return simulate_shard(stream, times, node_config, chaos=chaos)
+    stream, times, node_config, chaos, calib = arg
+    return simulate_shard(stream, times, node_config, chaos=chaos, calib=calib)
 
 
 def simulate_fleet(
@@ -375,7 +386,7 @@ def simulate_fleet(
         )
 
     tasks = [
-        (stream, times, config.node, node_chaos(stream.node_id))
+        (stream, times, config.node, node_chaos(stream.node_id), config.calib)
         for stream in routing.streams
     ]
     with timing.timed("fleet.shards"):
@@ -393,8 +404,9 @@ def simulate_fleet(
         max_batch=config.node.max_batch, queue_capacity=config.node.queue_capacity
     )
     node_reports = []
-    warm = cold = gap = evicted_re = lost_re = cut_re = 0
+    warm = cold = gap = evicted_re = lost_re = cut_re = recal_re = 0
     chaos_merged: Optional[ChaosTelemetry] = None
+    calib_merged: Optional[CalibTelemetry] = None
     for res in results:  # ascending node id — the merge order contract
         merged.merge(res.telemetry)
         warm += res.state.warm
@@ -403,11 +415,17 @@ def simulate_fleet(
         evicted_re += res.state.reanchors_evicted
         lost_re += res.state.reanchors_lost
         cut_re += res.state.reanchors_cut
+        recal_re += res.state.reanchors_recal
         if res.chaos is not None:
             if chaos_merged is None:
                 chaos_merged = res.chaos
             else:
                 chaos_merged.merge(res.chaos)
+        if res.calib is not None:
+            if calib_merged is None:
+                calib_merged = res.calib
+            else:
+                calib_merged.merge(res.calib)
         node_reports.append(
             NodeReport(
                 node_id=res.node_id,
@@ -422,6 +440,7 @@ def simulate_fleet(
                 state_evictions=res.state.evictions,
                 reanchors_lost=res.state.reanchors_lost,
                 reanchors_cut=res.state.reanchors_cut,
+                reanchors_recal=res.state.reanchors_recal,
             )
         )
     workers_total = config.node.workers * routing.peak_nodes
@@ -444,5 +463,7 @@ def simulate_fleet(
         node_reports=tuple(node_reports),
         reanchors_lost=lost_re,
         reanchors_cut=cut_re,
+        reanchors_recal=recal_re,
         chaos=chaos_merged.snapshot() if chaos_merged is not None else None,
+        calib=calib_merged.snapshot() if calib_merged is not None else None,
     )

@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -39,8 +39,12 @@ from repro.serve.chaos.telemetry import ChaosTelemetry
 from repro.serve.latency import ServiceTimes
 from repro.serve.service import ServeConfig
 from repro.serve.state import StateStats, TemporalStateStore
-from repro.serve.telemetry import ServeTelemetry
+from repro.serve.telemetry import CalibTelemetry, ServeTelemetry
 from repro.serve.workload import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; the controller spec
+    # is duck-typed (built via .build()) so serve never imports calib.
+    from repro.calib.recalibrate import CalibSpec
 
 __all__ = ["ShardStream", "ShardResult", "simulate_shard"]
 
@@ -126,6 +130,7 @@ class ShardResult:
     routed: int
     migrated_in: int
     chaos: Optional[ChaosTelemetry] = None
+    calib: Optional[CalibTelemetry] = None
 
 
 def simulate_shard(
@@ -133,6 +138,7 @@ def simulate_shard(
     times: ServiceTimes,
     config: ServeConfig,
     chaos: Optional[NodeChaos] = None,
+    calib: "Optional[CalibSpec]" = None,
 ) -> ShardResult:
     """Serve one node's substream to quiescence (greedy dispatch only).
 
@@ -144,6 +150,15 @@ def simulate_shard(
     session, forcing a priced re-anchor).  Without ``chaos`` every code
     path and float is identical to before — the fault-free goldens do
     not move.
+
+    With ``calib`` (a picklable :class:`repro.calib.recalibrate.CalibSpec`)
+    the node builds its own precision-calibration controller — its
+    decisions are pure functions of frame identity and arrival time, so
+    every node observes the identical drift — and runs the control loop
+    on every served frame; its counters land in the result's ``calib``
+    telemetry.  Table swaps bump the state store's calibration version,
+    so resident sessions re-anchor cold (priced as ``reanchors_recal``).
+    Without ``calib`` nothing changes.
     """
     if config.max_wait_s != 0.0:
         raise ValueError("the vectorized shard engine requires max_wait_s=0 (greedy dispatch)")
@@ -167,6 +182,7 @@ def simulate_shard(
     ctel = (
         ChaosTelemetry(duration_s=chaos.duration_s) if chaos is not None else None
     )
+    controller = calib.build() if calib is not None else None
     #: session id -> invalidation time, awaiting its next warm serve.
     recovering: "dict[int, float]" = {}
     down = list(chaos.down) if chaos is not None else []
@@ -213,6 +229,10 @@ def simulate_shard(
         # per-item float accumulation mirrors the reference service
         # exactly, so busy_s stays bit-identical.
         service_s = times.batch_overhead_s
+        if controller is not None:
+            # Complete any due measured recalibration before pricing the
+            # batch (mirrors the reference service's dispatch hook).
+            controller.advance(now, state)
         for j in batch:
             s, f = int(sid[j]), int(fidx[j])
             is_cut = bool(cut[j])
@@ -228,6 +248,8 @@ def simulate_shard(
                 before = state.stats.reanchors
             mode = state.serve(s, f, scene_cut=is_cut)
             service_s += times.request_s(mode, float(motion[j]))
+            if controller is not None:
+                controller.on_frame(now, s, f, float(arr[j]), state)
             if ctel is not None:
                 warm = mode == "temporal"
                 ctel.on_serve(now, warm, state.stats.reanchors > before)
@@ -306,4 +328,5 @@ def simulate_shard(
         routed=n,
         migrated_in=int(np.count_nonzero(stream.migrated)),
         chaos=ctel,
+        calib=controller.telemetry if controller is not None else None,
     )

@@ -42,6 +42,7 @@ from repro.models.registry import get_model_spec, prepare_model
 from repro.nn.shapes import LayerShape, conv_layer_shapes
 from repro.nn.trace import ActivationTrace, ConvLayerTrace
 from repro.utils import timing
+from repro.utils.bits import quantize_to_width
 from repro.utils.rng import DEFAULT_SEED
 
 #: The Fig 13 engines, in the paper's order.
@@ -51,7 +52,6 @@ DEFAULT_ENGINES = ("VAA", "PRA", "Diffy")
 #: previous frame is resident.
 DIFFERENTIAL_ENGINES = frozenset({"Diffy"})
 
-_CLIP_LO, _CLIP_HI = -(1 << (WORD_BITS - 1)), (1 << (WORD_BITS - 1)) - 1
 
 
 @dataclass(frozen=True)
@@ -93,7 +93,7 @@ def temporal_term_map(layer: ConvLayerTrace, previous: ConvLayerTrace) -> np.nda
     """Booth term counts of the padded temporal-delta imap."""
     cur = np.asarray(padded_imap(layer), dtype=np.int64)
     prev = np.asarray(padded_imap(previous), dtype=np.int64)
-    return booth_terms(np.clip(cur - prev, _CLIP_LO, _CLIP_HI))
+    return booth_terms(quantize_to_width(cur - prev, WORD_BITS)[0])
 
 
 def _frame_time_s(

@@ -27,9 +27,13 @@ the loop itself draws no randomness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.serve.chaos.storage import StorageChaos
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; serve never imports
+    # calib at runtime (the dependency points the other way).
+    from repro.calib.recalibrate import CalibrationController
 from repro.serve.chaos.telemetry import ChaosTelemetry
 from repro.serve.clock import VirtualClock
 from repro.serve.latency import ServiceTimes
@@ -125,6 +129,7 @@ class InferenceService:
         times: ServiceTimes,
         config: ServeConfig,
         storage: Optional[StorageChaos] = None,
+        calib: "Optional[CalibrationController]" = None,
     ):
         self.times = times
         self.config = config
@@ -143,6 +148,10 @@ class InferenceService:
         self._storage = storage
         self.chaos: Optional[ChaosTelemetry] = None
         self._recovering: "dict[int, float]" = {}
+        #: Precision-calibration control loop (None = uncalibrated run;
+        #: the serve path and its goldens are then bit-identical to a
+        #: build without the calib package).
+        self.calib = calib
 
     # ---- event handlers --------------------------------------------------
 
@@ -182,6 +191,11 @@ class InferenceService:
                 break
             batch = self.queue.take(self.policy.max_batch)
             service_s = self.times.batch_overhead_s
+            if self.calib is not None:
+                # Complete any due measured recalibration before pricing
+                # this batch: every frame below is served entirely under
+                # one table generation (the atomic-swap guarantee).
+                self.calib.advance(now, self.state)
             for item in batch:
                 request = item.request
                 sid, fidx = request.session_id, request.frame_index
@@ -202,6 +216,8 @@ class InferenceService:
                     reanchors_before = self.state.stats.reanchors
                 mode = self.state.serve(sid, fidx, scene_cut=request.scene_cut)
                 service_s += self.times.request_s(mode, request.motion)
+                if self.calib is not None:
+                    self.calib.on_frame(now, sid, fidx, request.arrival_s, self.state)
                 if self.chaos is not None:
                     warm = mode == "temporal"
                     self.chaos.on_serve(
@@ -268,13 +284,16 @@ def serve_workload(
     config: ServeConfig,
     duration_s: Optional[float] = None,
     storage: Optional[StorageChaos] = None,
+    calib: "Optional[CalibrationController]" = None,
 ) -> ServingReport:
     """Convenience wrapper: one service instance, one workload, one report.
 
-    Pass ``storage`` to run under storage-fault chaos; callers that need
-    the chaos counters should drive :class:`InferenceService` directly
-    and read its ``chaos`` telemetry.
+    Pass ``storage`` to run under storage-fault chaos, or ``calib`` to
+    attach the precision-calibration control loop; callers that need the
+    chaos/calibration counters should drive :class:`InferenceService`
+    directly (or keep a reference to the controller's telemetry).
     """
     if duration_s is None:
         duration_s = max((r.arrival_s for r in requests), default=0.0) or 1.0
-    return InferenceService(times, config, storage=storage).run(requests, duration_s)
+    service = InferenceService(times, config, storage=storage, calib=calib)
+    return service.run(requests, duration_s)

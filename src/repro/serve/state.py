@@ -42,6 +42,10 @@ class StateStats:
     #: Cold serves forced by a scene cut: the temporal delta is useless
     #: across a cut, so the service re-anchors even with state resident.
     reanchors_cut: int = 0
+    #: Cold serves forced by a calibration-table swap: resident state was
+    #: written under an older precision table, so the session re-anchors
+    #: under the new one — recalibration downtime, priced honestly.
+    reanchors_recal: int = 0
 
     @property
     def reanchors(self) -> int:
@@ -50,6 +54,7 @@ class StateStats:
             + self.reanchors_evicted
             + self.reanchors_lost
             + self.reanchors_cut
+            + self.reanchors_recal
         )
 
     @property
@@ -84,6 +89,13 @@ class TemporalStateStore:
         #: Sessions whose state was invalidated (detected corruption or a
         #: node crash); their next serve is a ``reanchors_lost`` cold frame.
         self._invalidated: "set[int]" = set()
+        #: Current calibration-table version; state written under an older
+        #: version is stale (see :meth:`set_version`).  0 when no
+        #: calibration loop is attached — the legacy path never bumps it,
+        #: so calibration-free runs are bit-identical to before.
+        self._version = 0
+        #: session_id -> version its resident state was written under.
+        self._session_version: "dict[int, int]" = {}
         self.stats = StateStats()
 
     @property
@@ -98,10 +110,25 @@ class TemporalStateStore:
     def max_sessions(self) -> int:
         return self.capacity_bytes // self.bytes_per_session
 
+    def set_version(self, version: int) -> None:
+        """Install a new calibration-table version (atomic swap point).
+
+        State buffers hold activations *encoded under a precision table*;
+        after a swap the resident encodings no longer match what the new
+        table would produce, so every resident session's next serve
+        re-anchors cold (``reanchors_recal``) and re-admits itself under
+        the new version.  O(1): staleness is checked lazily at serve
+        time, nothing is scanned or copied here.
+        """
+        self._version = int(version)
+
+    def _fresh(self, session_id: int) -> bool:
+        return self._session_version.get(session_id, self._version) == self._version
+
     def is_warm(self, session_id: int, frame_index: int) -> bool:
         """Would serving this frame run in temporal mode right now?"""
         last = self._resident.get(session_id)
-        return last is not None and last == frame_index - 1
+        return last is not None and last == frame_index - 1 and self._fresh(session_id)
 
     def serve(self, session_id: int, frame_index: int, scene_cut: bool = False) -> str:
         """Record one frame being served; returns ``"temporal"`` or ``"spatial"``.
@@ -113,14 +140,20 @@ class TemporalStateStore:
         contiguous state resident: across a cut the temporal delta is as
         dense as the frame itself, so the warm path buys nothing.
         """
-        contiguous = self.is_warm(session_id, frame_index)
-        warm = contiguous and not scene_cut
+        last = self._resident.get(session_id)
+        contiguous = last is not None and last == frame_index - 1
+        fresh = self._fresh(session_id)
+        warm = contiguous and fresh and not scene_cut
         if warm:
             self.stats.warm += 1
         else:
             self.stats.cold += 1
-            if scene_cut and contiguous:
+            if scene_cut and contiguous and fresh:
                 self.stats.reanchors_cut += 1
+            elif session_id in self._resident and not fresh:
+                # Resident state predates the current calibration table:
+                # the swap's deferred cost lands here.
+                self.stats.reanchors_recal += 1
             elif session_id in self._resident:
                 self.stats.reanchors_gap += 1
             elif session_id in self._invalidated:
@@ -140,14 +173,17 @@ class TemporalStateStore:
         if session_id in self._resident:
             self._resident[session_id] = frame_index
             self._resident.move_to_end(session_id)
+            self._session_version[session_id] = self._version
             return
         if self.bytes_per_session > self.capacity_bytes:
             return  # a single session cannot fit; stay cold forever
         while self.resident_bytes + self.bytes_per_session > self.capacity_bytes:
             evicted_id, _ = self._resident.popitem(last=False)
+            self._session_version.pop(evicted_id, None)
             self._displaced.add(evicted_id)
             self.stats.evictions += 1
         self._resident[session_id] = frame_index
+        self._session_version[session_id] = self._version
         self.stats.insertions += 1
 
     def invalidate(self, session_id: int) -> bool:
@@ -159,6 +195,7 @@ class TemporalStateStore:
         """
         if self._resident.pop(session_id, None) is None:
             return False
+        self._session_version.pop(session_id, None)
         self._displaced.discard(session_id)
         self._invalidated.add(session_id)
         return True
@@ -174,10 +211,12 @@ class TemporalStateStore:
             self._displaced.discard(session_id)
             self._invalidated.add(session_id)
         self._resident.clear()
+        self._session_version.clear()
         return lost
 
     def drop(self, session_id: int) -> bool:
         """Explicitly release one session's state (session end)."""
         self._displaced.discard(session_id)
         self._invalidated.discard(session_id)
+        self._session_version.pop(session_id, None)
         return self._resident.pop(session_id, None) is not None

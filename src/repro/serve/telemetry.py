@@ -13,9 +13,13 @@ benchmark layers consume.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.utils.timing import StreamingHistogram
+from repro.utils.validation import check_positive
 
 #: Latency bins: log-spaced from 100 µs to 1000 s.  Log spacing keeps
 #: relative resolution constant (~5.6% per bin with 288 bins), so p99
@@ -180,4 +184,198 @@ class ServeTelemetry:
             "mean_batch_size": self.mean_batch_size,
             "max_queue_depth": self.max_queue_depth,
             "utilization": self.busy_s / (duration_s * workers) if duration_s else 0.0,
+        }
+
+
+#: Time buckets of the calibration traffic/overflow/fallback series.
+CALIB_BUCKETS = 24
+
+#: Peak signal of the PSNR proxy: the 16-bit signed word's full scale.
+CALIB_PEAK = (1 << 15) - 1
+
+
+@dataclass
+class CalibTelemetry:
+    """Counters of the precision-calibration control loop for one run.
+
+    Kept separate from :class:`ServeTelemetry` on purpose: the
+    calibration-free serving counters (and the goldens pinned on them)
+    stay byte-identical whether or not the control loop is attached, and
+    calibrated runs get the loop-specific counters the drift postmortem
+    asks for — what clipped (or would have), what the fallback averted,
+    when the loop tripped/swapped, and the traffic price of each policy.
+
+    Value counts are in *profiling-sample units*: each served frame
+    contributes its scene profile's full per-layer sample counts
+    (:attr:`repro.calib.stats.LayerStats.sample_values`), so rates and
+    PSNR are exact integer/rational arithmetic and merge exactly across
+    fleet nodes (the fleet layer pins ascending node-id merge order).
+    """
+
+    duration_s: float
+    buckets: int = CALIB_BUCKETS
+    #: Frames the attached service actually served.
+    frames: int = 0
+    #: Frames the shadow sampler profiled (slack watch + reservoir).
+    sampled_frames: int = 0
+    #: Frames where >= 1 layer overflowed its serving width.
+    overflow_frames: int = 0
+    #: Values served saturated (static policies only — the harm metric).
+    clipped_values_served: int = 0
+    #: Values the per-frame Raw16 fallback kept from saturating.
+    clipped_values_averted: int = 0
+    #: Layer-frames served at the safe fallback width instead of their
+    #: table width (the compression price of "never serve clipped").
+    fallback_layer_serves: int = 0
+    trips_overflow: int = 0
+    trips_slack: int = 0
+    #: Atomic table swaps (degrade + recalibrated together).
+    swaps: int = 0
+    #: Measured (reservoir-profiled) recalibration passes completed.
+    recalibrations: int = 0
+    #: Sum of squared clip errors of *served* values (PSNR numerator).
+    clip_energy: float = 0.0
+    #: Activation traffic actually served, in bits (sample units).
+    traffic_bits: int = 0
+    #: Traffic the Raw16 static-wide policy would have served.
+    wide_traffic_bits: int = 0
+    #: Values served, in sample units (rate/PSNR denominator).
+    values_total: int = 0
+    traffic_by_bucket: np.ndarray = field(init=False)
+    overflow_by_bucket: np.ndarray = field(init=False)
+    fallback_by_bucket: np.ndarray = field(init=False)
+    swap_by_bucket: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        check_positive("duration_s", self.duration_s)
+        check_positive("buckets", self.buckets)
+        self.traffic_by_bucket = np.zeros(self.buckets, dtype=np.int64)
+        self.overflow_by_bucket = np.zeros(self.buckets, dtype=np.int64)
+        self.fallback_by_bucket = np.zeros(self.buckets, dtype=np.int64)
+        self.swap_by_bucket = np.zeros(self.buckets, dtype=np.int64)
+
+    def bucket(self, t: float) -> int:
+        """Bucket index of time ``t`` (tail work clamps into the last)."""
+        return min(self.buckets - 1, max(0, int(t / self.duration_s * self.buckets)))
+
+    # ---- recording hooks -------------------------------------------------
+
+    def on_frame(
+        self,
+        now: float,
+        sampled: bool,
+        overflow_layers: int,
+        fallback_layers: int,
+        clipped_served: int,
+        clipped_averted: int,
+        clip_energy: float,
+        traffic_bits: int,
+        wide_traffic_bits: int,
+        values: int,
+    ) -> None:
+        self.frames += 1
+        if sampled:
+            self.sampled_frames += 1
+        if overflow_layers:
+            self.overflow_frames += 1
+            self.overflow_by_bucket[self.bucket(now)] += 1
+        if fallback_layers:
+            self.fallback_layer_serves += fallback_layers
+            self.fallback_by_bucket[self.bucket(now)] += fallback_layers
+        self.clipped_values_served += clipped_served
+        self.clipped_values_averted += clipped_averted
+        self.clip_energy += clip_energy
+        self.traffic_bits += traffic_bits
+        self.wide_traffic_bits += wide_traffic_bits
+        self.values_total += values
+        self.traffic_by_bucket[self.bucket(now)] += traffic_bits
+
+    def on_trip(self, kind: str, count: int = 1) -> None:
+        if kind == "overflow":
+            self.trips_overflow += count
+        elif kind == "slack":
+            self.trips_slack += count
+        else:
+            raise ValueError(f"unknown trip kind {kind!r}")
+
+    def on_swap(self, now: float, recalibrated: bool) -> None:
+        self.swaps += 1
+        if recalibrated:
+            self.recalibrations += 1
+        self.swap_by_bucket[self.bucket(now)] += 1
+
+    # ---- derived metrics -------------------------------------------------
+
+    @property
+    def clipped_serve_rate(self) -> float:
+        """Served-saturated values per value served (the harm SLO)."""
+        return self.clipped_values_served / self.values_total if self.values_total else 0.0
+
+    @property
+    def traffic_ratio_vs_wide(self) -> float:
+        """Served traffic relative to the Raw16 static-wide policy."""
+        return self.traffic_bits / self.wide_traffic_bits if self.wide_traffic_bits else 1.0
+
+    @property
+    def psnr_db(self) -> float:
+        """PSNR proxy of served values vs the unclipped reference.
+
+        Infinite when nothing served clipped — the control loop's target
+        operating point (JSON-serialized via the ``Infinity`` sentinel).
+        """
+        if self.values_total == 0 or self.clip_energy == 0.0:
+            return float("inf")
+        mse = self.clip_energy / self.values_total
+        return 10.0 * math.log10(CALIB_PEAK * CALIB_PEAK / mse)
+
+    def merge(self, other: "CalibTelemetry") -> "CalibTelemetry":
+        """Fold another node's calibration telemetry in (exact)."""
+        if (self.duration_s, self.buckets) != (other.duration_s, other.buckets):
+            raise ValueError("cannot merge calib telemetry with different windows")
+        for name in (
+            "frames",
+            "sampled_frames",
+            "overflow_frames",
+            "clipped_values_served",
+            "clipped_values_averted",
+            "fallback_layer_serves",
+            "trips_overflow",
+            "trips_slack",
+            "swaps",
+            "recalibrations",
+            "traffic_bits",
+            "wide_traffic_bits",
+            "values_total",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.clip_energy += other.clip_energy
+        self.traffic_by_bucket += other.traffic_by_bucket
+        self.overflow_by_bucket += other.overflow_by_bucket
+        self.fallback_by_bucket += other.fallback_by_bucket
+        self.swap_by_bucket += other.swap_by_bucket
+        return self
+
+    def snapshot(self) -> dict:
+        """Golden-serializable digest of the calibration run."""
+        return {
+            "frames": self.frames,
+            "sampled_frames": self.sampled_frames,
+            "overflow_frames": self.overflow_frames,
+            "clipped_values_served": self.clipped_values_served,
+            "clipped_values_averted": self.clipped_values_averted,
+            "clipped_serve_rate": self.clipped_serve_rate,
+            "fallback_layer_serves": self.fallback_layer_serves,
+            "trips_overflow": self.trips_overflow,
+            "trips_slack": self.trips_slack,
+            "swaps": self.swaps,
+            "recalibrations": self.recalibrations,
+            "psnr_db": self.psnr_db,
+            "traffic_bits": self.traffic_bits,
+            "wide_traffic_bits": self.wide_traffic_bits,
+            "traffic_ratio_vs_wide": self.traffic_ratio_vs_wide,
+            "values_total": self.values_total,
+            "traffic_by_bucket": self.traffic_by_bucket.tolist(),
+            "overflow_by_bucket": self.overflow_by_bucket.tolist(),
+            "fallback_by_bucket": self.fallback_by_bucket.tolist(),
+            "swap_by_bucket": self.swap_by_bucket.tolist(),
         }

@@ -190,6 +190,56 @@ def apply_scene_dynamics(
     ]
 
 
+def generate_vfr_requests(
+    spec: WorkloadSpec,
+    interval_scales: "tuple[float, ...]" = (0.5, 1.0, 2.0),
+    switch_probability: float = 0.1,
+    seed: "int | None" = None,
+) -> list[Request]:
+    """Frame requests with seeded mid-session frame-rate switches.
+
+    Real clients renegotiate frame rate mid-stream (adaptive bitrate,
+    thermal throttling, tab focus): after each frame the session switches
+    with ``switch_probability`` to a fresh inter-frame interval —
+    ``spec.frame_interval_s`` times a uniformly drawn entry of
+    ``interval_scales``.  A faster cadence packs more frames into the
+    same service capacity; a slower one stretches the session and widens
+    the re-anchor exposure window — both move the drift detector's
+    observation cadence, which is why the calibration experiments use
+    this generator.
+
+    Session start times are exactly those of :func:`generate_requests`
+    (same arrival process, same draws); per-session switches come from an
+    :func:`rng_for` stream keyed by the session id alone, so the overlay
+    is order- and worker-independent.  ``switch_probability=0`` returns
+    the identical request list to :func:`generate_requests`, so existing
+    workload-dependent goldens are untouched.
+    """
+    if not 0.0 <= switch_probability <= 1.0:
+        raise ValueError(f"switch_probability must be in [0, 1], got {switch_probability}")
+    if not interval_scales:
+        raise ValueError("interval_scales must be non-empty")
+    for s in interval_scales:
+        check_positive("interval_scales entry", s)
+    vfr_seed = spec.seed if seed is None else seed
+    if switch_probability == 0.0:
+        # Bit-identical fall-through (same floats, not just same times).
+        return generate_requests(spec)
+    requests = []
+    for sid, start in enumerate(_session_starts(spec)):
+        rng = rng_for(vfr_seed, "serve-vfr", sid)
+        interval = spec.frame_interval_s
+        t = start
+        for f in range(spec.frames_per_session):
+            requests.append(Request(session_id=sid, frame_index=f, arrival_s=t))
+            if switch_probability and rng.random() < switch_probability:
+                scale = float(interval_scales[int(rng.integers(len(interval_scales)))])
+                interval = spec.frame_interval_s * scale
+            t += interval
+    requests.sort(key=lambda r: (r.arrival_s, r.session_id, r.frame_index))
+    return requests
+
+
 def diurnal_rate(t: float, session_rate: float, amplitude: float, period_s: float) -> float:
     """Instantaneous session rate of a diurnal (sinusoidal) load profile.
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils import timing
 from repro.utils.validation import check_positive
 
 
@@ -73,7 +74,43 @@ def signed_range(bits: int) -> tuple[int, int]:
     return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
 
 
+def quantize_to_width(
+    values: np.ndarray, width: int, signed: bool = True
+) -> "tuple[np.ndarray, int]":
+    """Saturate an integer array to a ``width``-bit word, counting clips.
+
+    This is the *one audited narrowing point*: every place the codebase
+    squeezes integer values into a storage word routes through here, so
+    out-of-range values are never silently truncated — the clipped count
+    is returned (and accumulated on the ``precision.values_clipped``
+    counter) where shadow counters and calibration audits can see it.
+
+    ``signed`` selects the two's-complement range (deltas, accumulators)
+    vs the unsigned magnitude range ``[0, 2**width - 1]`` (post-ReLU
+    activations under a profiled precision).  When nothing clips, the
+    input array is returned as-is (no copy) — the common in-range case
+    costs one min/max pass.
+    """
+    if signed:
+        lo, hi = signed_range(width)
+    else:
+        check_positive("width", width)
+        lo, hi = 0, (1 << width) - 1
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.size == 0:
+        return arr, 0
+    if lo <= int(arr.min()) and int(arr.max()) <= hi:
+        return arr, 0
+    clipped = int(np.count_nonzero((arr < lo) | (arr > hi)))
+    timing.count("precision.values_clipped", clipped)
+    return np.clip(arr, lo, hi), clipped
+
+
 def clamp_signed(values: np.ndarray, bits: int) -> np.ndarray:
-    """Saturate an integer array to the ``bits``-bit signed range."""
-    lo, hi = signed_range(bits)
-    return np.clip(np.asarray(values, dtype=np.int64), lo, hi)
+    """Saturate an integer array to the ``bits``-bit signed range.
+
+    Thin wrapper over :func:`quantize_to_width` for callers that only
+    need the saturated array; the clip count still lands on the audited
+    counter.
+    """
+    return quantize_to_width(values, bits, signed=True)[0]
