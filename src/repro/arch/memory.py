@@ -67,6 +67,18 @@ FIG15_NODES = (
 
 
 @dataclass(frozen=True)
+class WeightStreamReport:
+    """What the protection ladder saw on one weight-stream round trip."""
+
+    #: SECDED single-bit corrections (silent to the codec).
+    corrected_words: int
+    #: SECDED double-bit detections, forwarded as ``suspect_bits``.
+    detected_words: int
+    #: Codec columns flagged by the lenient decode (zero-filled).
+    flagged_columns: "tuple[int, ...]"
+
+
+@dataclass(frozen=True)
 class MemorySystem:
     """A memory technology plus channel count (Fig 18's ``v-r-x`` configs)."""
 
@@ -150,6 +162,70 @@ class MemorySystem:
         if self.fault_hook is not None:
             codes = np.asarray(self.fault_hook(codes))
         return secded_decode(codes, width, signed=signed)
+
+    def read_weight_stream(
+        self, weights: np.ndarray, codec
+    ) -> "tuple[np.ndarray, WeightStreamReport]":
+        """Round-trip a quantized weight stream through this memory.
+
+        Encodes ``weights`` with ``codec`` (an ``MSRCodec``-shaped object:
+        ``encode`` / ``decode_flagged``), models storage faults on the
+        packed stream, and decodes leniently — so the protection ladder
+        composes on weight streams exactly as on activation streams:
+
+        - With ``ecc`` the packed payload bits are padded to 16-bit words
+          and stored as SECDED codewords; the ``fault_hook`` corrupts the
+          codewords, single flips come back corrected, and double flips
+          surface as ``suspect_bits`` ranges the codec's checksum layer
+          (when enabled) turns into flagged columns.
+        - Without ``ecc`` the ``fault_hook`` receives the stream's 0/1
+          payload bit array directly and returns the corrupted copy.
+
+        Returns ``(decoded_weights, WeightStreamReport)``.
+        """
+        from repro.compression.bitplane import pack_payload, unpack_payload
+        from repro.utils.bits import bits_to_words, words_to_bits
+
+        encoded = codec.encode(weights)
+        suspect: "tuple[tuple[int, int], ...]" = ()
+        corrected = detected = 0
+        if self.ecc:
+            from repro.protect.ecc import secded_decode, secded_encode
+
+            word_bits = 16
+            bits = unpack_payload(encoded.data, encoded.bits)
+            pad = (-encoded.bits) % word_bits
+            padded = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+            codes = secded_encode(bits_to_words(padded, word_bits), word_bits)
+            if self.fault_hook is not None:
+                codes = np.asarray(self.fault_hook(codes))
+            words, rep = secded_decode(codes, word_bits)
+            restored = words_to_bits(words, word_bits)[: encoded.bits]
+            encoded = type(encoded)(
+                data=pack_payload(restored), bits=encoded.bits, values=encoded.values
+            )
+            corrected = int(rep.corrected)
+            detected = int(rep.detected)
+            suspect = tuple(
+                (int(i) * word_bits, (int(i) + 1) * word_bits)
+                for i in np.flatnonzero(rep.detected_mask)
+            )
+        elif self.fault_hook is not None:
+            bits = unpack_payload(encoded.data, encoded.bits)
+            bits = np.asarray(self.fault_hook(bits)) & 1
+            encoded = type(encoded)(
+                data=pack_payload(bits.astype(np.uint8)),
+                bits=encoded.bits,
+                values=encoded.values,
+            )
+        values, flagged = codec.decode_flagged(
+            encoded, strict=False, suspect_bits=suspect
+        )
+        return values, WeightStreamReport(
+            corrected_words=corrected,
+            detected_words=detected,
+            flagged_columns=tuple(flagged),
+        )
 
     def with_fault_hook(
         self, hook: Optional[Callable[[np.ndarray], np.ndarray]]

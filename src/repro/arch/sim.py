@@ -204,8 +204,9 @@ def model_for(
 ):
     """Instantiate a cycle model by accelerator name.
 
-    ``accelerator`` is one of ``"VAA"``, ``"PRA"``, ``"Diffy"``, or
-    ``"SCNN"``/``"SCNN50"``/``"SCNN75"``/``"SCNN90"``.
+    ``accelerator`` is one of ``"VAA"``, ``"PRA"``, ``"Diffy"``, ``"VP"``
+    (the speculative value-prediction engine, at its default operating
+    point), or ``"SCNN"``/``"SCNN50"``/``"SCNN75"``/``"SCNN90"``.
     """
     if accelerator == "VAA":
         return VAAModel(config or VAA_CONFIG)
@@ -213,6 +214,10 @@ def model_for(
         return PRAModel(config or PRA_CONFIG)
     if accelerator == "Diffy":
         return DiffyModel(config or DIFFY_CONFIG)
+    if accelerator == "VP":
+        from repro.arch.predict import ValuePredictionModel
+
+        return ValuePredictionModel(config or PRA_CONFIG)
     if accelerator.startswith("SCNN"):
         sparsity = weight_sparsity
         if accelerator != "SCNN":
@@ -220,7 +225,7 @@ def model_for(
         return SCNNModel(weight_sparsity=sparsity)
     raise ValueError(
         f"unknown accelerator {accelerator!r}; "
-        "expected VAA, PRA, Diffy, or SCNN[50|75|90]"
+        "expected VAA, PRA, Diffy, VP, or SCNN[50|75|90]"
     )
 
 

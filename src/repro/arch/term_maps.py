@@ -50,6 +50,7 @@ __all__ = [
     "padded_imap",
     "raw_term_map",
     "delta_term_map",
+    "vp_term_map",
     "group_geometry",
     "clear_term_maps",
 ]
@@ -128,6 +129,46 @@ def delta_term_map(
         return booth_terms(quantize_to_width(deltas, WORD_BITS)[0], encoding)
 
     return _memoized(layer, ("delta", axis, encoding), compute)
+
+
+def vp_term_map(
+    layer: ConvLayerTrace,
+    threshold: int,
+    recovery_cycles: int,
+    axis: str = "x",
+    encoding: str = DEFAULT_ENCODING,
+) -> np.ndarray:
+    """Term counts under speculative value prediction (Shomron & Weiser).
+
+    The predictor guesses each activation equals its decoded spatial
+    neighbor (``stride`` positions back along ``axis``).  A *hit*
+    (|delta| <= ``threshold``) skips the serial term stream entirely — 0
+    cycles charged.  A *miss* flushes the speculated zero-work slot and
+    recomputes: the raw term stream plus a ``recovery_cycles`` pipeline
+    bubble.  Chain heads (the first ``stride`` positions along ``axis``)
+    have no decoded neighbor to predict from, so they stream their raw
+    terms with no bubble — exactly PRA's cost.  With prediction disabled
+    (see :class:`repro.arch.predict.ValuePredictionModel`) every position
+    streams raw terms and the map degenerates to :func:`raw_term_map`.
+    """
+
+    def compute() -> np.ndarray:
+        padded = padded_imap(layer)
+        raw = raw_term_map(layer, encoding)
+        deltas = spatial_deltas(padded, axis=axis, stride=layer.stride)
+        hit = np.abs(deltas) <= threshold
+        out = np.where(hit, 0, raw.astype(np.int64) + recovery_cycles)
+        ax = padded.ndim - 1 if axis == "x" else padded.ndim - 2
+        head = [slice(None)] * padded.ndim
+        head[ax] = slice(0, min(layer.stride, padded.shape[ax]))
+        out[tuple(head)] = raw[tuple(head)]
+        return out
+
+    return _memoized(
+        layer,
+        ("vp", axis, encoding, int(threshold), int(recovery_cycles)),
+        compute,
+    )
 
 
 def group_geometry(

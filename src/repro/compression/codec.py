@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import os
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -98,22 +98,35 @@ class CodecStats:
     decoded_values: int = 0
     reference_calls: int = 0
     vectorized_calls: int = 0
+    #: Per-codec-family breakdown ("activation" vs "weight"): each entry
+    #: carries its own encodes/decodes/encoded_bits/decoded_values, so the
+    #: two stream families stay distinguishable once both exist.
+    per_codec: "dict[str, dict[str, int]]" = field(default_factory=dict)
 
 
 _CODEC_STATS = CodecStats(backend=DEFAULT_CODEC_BACKEND)
 _CODEC_STATS_LOCK = threading.Lock()
 
 
-def _note_codec_call(kind: str, backend: str, bits: int, values: int) -> None:
+def _note_codec_call(
+    kind: str, backend: str, bits: int, values: int, codec: str = "activation"
+) -> None:
     """Record one encode/decode under the backend that served it."""
     timing.count(f"codec.{backend}.{kind}")
     with _CODEC_STATS_LOCK:
+        bucket = _CODEC_STATS.per_codec.setdefault(
+            codec, {"encodes": 0, "decodes": 0, "encoded_bits": 0, "decoded_values": 0}
+        )
         if kind == "encode":
             _CODEC_STATS.encodes += 1
             _CODEC_STATS.encoded_bits += bits
+            bucket["encodes"] += 1
+            bucket["encoded_bits"] += bits
         else:
             _CODEC_STATS.decodes += 1
             _CODEC_STATS.decoded_values += values
+            bucket["decodes"] += 1
+            bucket["decoded_values"] += values
         if backend == "reference":
             _CODEC_STATS.reference_calls += 1
         else:
@@ -129,6 +142,9 @@ def codec_stats() -> CodecStats:
     backend = active_codec_backend()
     with _CODEC_STATS_LOCK:
         snapshot = CodecStats(**vars(_CODEC_STATS))
+        # Deep-copy the per-codec buckets so callers' snapshots don't
+        # mutate under them as later calls land.
+        snapshot.per_codec = {k: dict(v) for k, v in _CODEC_STATS.per_codec.items()}
     snapshot.backend = backend
     return snapshot
 

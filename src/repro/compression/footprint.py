@@ -156,6 +156,46 @@ def normalized_footprints(
     return out
 
 
+def composed_footprints(
+    network: Network,
+    traces: Sequence[ActivationTrace],
+    pairs: Sequence[tuple[str, str]],
+    precisions: Optional[Sequence[int]] = None,
+) -> dict[str, float]:
+    """Fig 5 extended with the weight axis.
+
+    Each ``(activation_scheme, weight_scheme)`` pair totals the imap
+    footprint under the activation scheme plus the filter storage under
+    the ``repro.weights`` scheme, normalized against the dense
+    NoCompression+Raw16W corner.  Keys read "DeltaD16+MSR4W".  The
+    activation-only :func:`normalized_footprints` ladder is untouched.
+    """
+    from repro.weights.schemes import network_weight_bits
+
+    if precisions is None:
+        precisions = imap_precisions(traces)
+    act_totals: dict[str, int] = {}
+    wgt_totals: dict[str, int] = {}
+
+    def act_total(name: str) -> int:
+        if name not in act_totals:
+            act_totals[name] = sum(
+                f.bits for f in network_footprint(traces, name, precisions)
+            )
+        return act_totals[name]
+
+    def wgt_total(name: str) -> int:
+        if name not in wgt_totals:
+            wgt_totals[name] = sum(network_weight_bits(network, name).values())
+        return wgt_totals[name]
+
+    baseline = act_total("NoCompression") + wgt_total("Raw16W")
+    return {
+        f"{act}+{wgt}": (act_total(act) + wgt_total(wgt)) / baseline
+        for act, wgt in pairs
+    }
+
+
 def am_requirement_bytes(
     network: Network,
     traces: Sequence[ActivationTrace],

@@ -43,6 +43,7 @@ _EXPERIMENT_MODULES: "tuple[tuple[str, str], ...]" = (
     ("ext_fleet", "ext_fleet"),
     ("ext_chaos", "ext_chaos"),
     ("ext_drift", "ext_drift"),
+    ("ext_weights", "ext_weights"),
 )
 
 

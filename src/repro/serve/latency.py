@@ -26,7 +26,7 @@ Batches additionally pay one weight-stream load from off-chip memory
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -137,20 +137,36 @@ def measure_service_times(
     resolution: tuple[int, int] = HD_RESOLUTION,
     memory: "str | MemorySystem" = DEFAULT_MEMORY,
     seed: int = DEFAULT_SEED,
+    weight_scheme: Optional[str] = None,
 ) -> dict[str, ServiceTimes]:
     """Measure cold/warm service times for each engine on one model.
 
     Pure function of its arguments (the clip, weights and calibration are
     all seeded), so the result is disk-cached; a cold run recomputes the
     identical values.
+
+    ``weight_scheme`` names a ``repro.weights`` scheme to price the
+    per-batch weight-stream load (``batch_overhead_s``) under; the
+    default keeps the dense 16-bit filters — same cache key, same floats,
+    byte-identical to every existing caller.
     """
     if frames < 2:
         raise ValueError(f"need >= 2 frames to measure warm service, got {frames}")
     mem = memory if isinstance(memory, MemorySystem) else memory_system(memory)
+    key: tuple = (
+        model_name, tuple(engines), crop, frames, pan_px, resolution, mem.name, seed,
+    )
+    if weight_scheme is not None:
+        # Suffix only when set: the default key (and its on-disk entries)
+        # predates the knob and must keep resolving byte-identically.
+        key = key + (("weights", weight_scheme),)
     return cache_store.fetch_or_compute(
         "serve_times",
-        (model_name, tuple(engines), crop, frames, pan_px, resolution, mem.name, seed),
-        lambda: _measure(model_name, tuple(engines), crop, frames, pan_px, resolution, mem, seed),
+        key,
+        lambda: _measure(
+            model_name, tuple(engines), crop, frames, pan_px, resolution, mem, seed,
+            weight_scheme,
+        ),
     )
 
 
@@ -163,6 +179,7 @@ def _measure(
     resolution: tuple,
     mem: MemorySystem,
     seed: int,
+    weight_scheme: Optional[str] = None,
 ) -> dict[str, ServiceTimes]:
     spec = get_model_spec(model_name)
     net = prepare_model(model_name, seed)
@@ -170,7 +187,12 @@ def _measure(
     with timing.timed("serve.trace_clip"):
         traces = [net.trace(adapt_input(spec.input_adapter, f)) for f in clip]
     shapes = conv_layer_shapes(net, *resolution)
-    weight_bytes = sum(s.weight_bytes for s in shapes)
+    if weight_scheme is None:
+        weight_bytes: float = sum(s.weight_bytes for s in shapes)
+    else:
+        from repro.weights.schemes import network_weight_bytes
+
+        weight_bytes = network_weight_bytes(net, weight_scheme)
     state_bytes = sum(s.imap_values * 2 for s in shapes)
     out = {}
     for engine in engines:

@@ -33,15 +33,27 @@ class BatchPolicy:
     partial batch is dispatched anyway.  ``max_wait_s=0`` degenerates to
     greedy per-arrival dispatch (batches form only while workers are
     busy).
+
+    ``weight_stream_s`` optionally reprices the per-batch fixed cost
+    ("a batch pays one weight-stream load"): set it to the transfer time
+    of a *compressed* weight stream (e.g. MSR4W) to serve under weight
+    compression.  ``None`` (the default) keeps the measured dense
+    ``batch_overhead_s`` — existing serve/fleet/chaos/drift goldens are
+    byte-identical.
     """
 
     max_batch: int = 4
     max_wait_s: float = 0.0
+    weight_stream_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_positive("max_batch", self.max_batch)
         if self.max_wait_s < 0:
             raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.weight_stream_s is not None and self.weight_stream_s < 0:
+            raise ValueError(
+                f"weight_stream_s must be >= 0, got {self.weight_stream_s}"
+            )
 
 
 @dataclass(frozen=True)

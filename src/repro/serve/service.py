@@ -64,6 +64,13 @@ class ServeConfig:
     #: Total bytes of per-session temporal state the service may keep
     #: resident (0 disables temporal serving entirely).
     state_capacity_bytes: int = 0
+    #: Optional compressed weight-stream load time replacing the measured
+    #: dense per-batch overhead (see :class:`BatchPolicy.weight_stream_s`).
+    #: ``None`` keeps every existing golden byte-identical.
+    weight_stream_s: Optional[float] = None
+
+    #: Serialized configs predate the knob; omit it until it is set.
+    __golden_omit_none__ = ("weight_stream_s",)
 
     def __post_init__(self) -> None:
         check_positive("workers", self.workers)
@@ -71,8 +78,8 @@ class ServeConfig:
         check_positive("deadline_s", self.deadline_s)
         if self.state_capacity_bytes < 0:
             raise ValueError(f"state_capacity_bytes must be >= 0, got {self.state_capacity_bytes}")
-        # BatchPolicy validates max_batch / max_wait_s.
-        BatchPolicy(self.max_batch, self.max_wait_s)
+        # BatchPolicy validates max_batch / max_wait_s / weight_stream_s.
+        BatchPolicy(self.max_batch, self.max_wait_s, self.weight_stream_s)
 
 
 @dataclass(frozen=True)
@@ -133,7 +140,9 @@ class InferenceService:
     ):
         self.times = times
         self.config = config
-        self.policy = BatchPolicy(config.max_batch, config.max_wait_s)
+        self.policy = BatchPolicy(
+            config.max_batch, config.max_wait_s, config.weight_stream_s
+        )
         self.queue = BoundedQueue(config.queue_capacity)
         state_bytes = times.state_bytes
         if storage is not None:
@@ -181,6 +190,17 @@ class InferenceService:
 
     # ---- scheduling ------------------------------------------------------
 
+    def _batch_overhead_s(self) -> float:
+        """Per-batch fixed cost: one weight-stream load.
+
+        The policy's ``weight_stream_s`` (compressed-weight pricing)
+        overrides the measured dense overhead when set; the ``None``
+        default reproduces the measured float exactly.
+        """
+        if self.policy.weight_stream_s is not None:
+            return self.policy.weight_stream_s
+        return self.times.batch_overhead_s
+
     def _try_dispatch(self) -> None:
         now = self.clock.now
         while self.idle_workers > 0:
@@ -190,7 +210,7 @@ class InferenceService:
             if not batch_ready(self.queue, self.policy, now):
                 break
             batch = self.queue.take(self.policy.max_batch)
-            service_s = self.times.batch_overhead_s
+            service_s = self._batch_overhead_s()
             if self.calib is not None:
                 # Complete any due measured recalibration before pricing
                 # this batch: every frame below is served entirely under
@@ -269,7 +289,7 @@ class InferenceService:
             offered_rps=len(requests) / duration_s,
             cold_service_s=self.times.cold_s,
             warm_service_s=self.times.warm_s,
-            batch_overhead_s=self.times.batch_overhead_s,
+            batch_overhead_s=self._batch_overhead_s(),
             metrics=self.telemetry.snapshot(duration_s, self.config.workers),
             warm_served=stats.warm,
             cold_served=stats.cold,
